@@ -1,0 +1,129 @@
+// Command accuracy runs the paper's model-verification workflow (sections
+// 2 and 5) end to end:
+//
+//  1. the fidelity ladder v1..v8 against the final model and the
+//     physical-machine proxy (Figure 19),
+//  2. trend agreement between the detailed model and the independent
+//     in-order reference model (the initial-model validation), and
+//  3. a reverse-tracer round trip: trace -> test program -> replay, with a
+//     cycle-exact model comparison (the logic-simulator cross-check).
+//
+// Example:
+//
+//	accuracy -workload specint2000 -insts 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/core"
+	"sparc64v/internal/stats"
+	"sparc64v/internal/trace"
+	"sparc64v/internal/verif"
+	"sparc64v/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "specint2000", "workload name")
+		insts        = flag.Int("insts", 300_000, "instructions per run")
+		seed         = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	prof, ok := profileByName(*workloadName)
+	if !ok {
+		fatal("unknown workload %q", *workloadName)
+	}
+	opt := core.RunOptions{Insts: *insts, Seed: *seed}
+	base := config.Base()
+
+	// 1. Fidelity ladder.
+	study, err := verif.RunAccuracyStudy(base, prof, opt)
+	if err != nil {
+		fatal("%v", err)
+	}
+	t := stats.NewTable(fmt.Sprintf("Model versions on %s (machine proxy IPC %.3f)",
+		prof.Name, study.MachineIPC),
+		"version", "detail", "IPC", "perf/v8", "err vs machine %")
+	for _, p := range study.Points {
+		t.AddRow(p.Name, p.Detail, p.IPC, p.RatioToFinal, 100*p.ErrorVsMachine)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("final model error: %.2f%% (paper achieved <5%%)\n\n", 100*study.FinalError())
+
+	// 2. Trend checks against the independent reference model.
+	fmt.Println("Trend agreement (detailed model vs independent in-order reference):")
+	for _, c := range []struct {
+		name    string
+		variant config.Config
+	}{
+		{"32k-1w.3c L1", base.WithSmallL1()},
+		{"off.8m-1w L2", base.WithOffChipL2(1)},
+		{"4k-2w.1t BHT", base.WithSmallBHT()},
+	} {
+		tc, err := verif.RunTrendCheck(c.name, base, c.variant, prof, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		verdict := "AGREE"
+		if !tc.Agree() {
+			verdict = "DISAGREE"
+		}
+		fmt.Printf("  %-14s model %+6.2f%%  reference %+6.2f%%  -> %s\n",
+			c.name, 100*tc.ModelDelta, 100*tc.ReferenceDelta, verdict)
+	}
+	fmt.Println()
+
+	// 3. Reverse-tracer round trip with cycle-exact comparison.
+	recs := trace.Collect(trace.NewLimitSource(workload.New(prof, *seed, 0), *insts), 0)
+	prog, err := verif.FromTrace(trace.NewSliceSource(recs))
+	if err != nil {
+		fatal("reverse trace: %v", err)
+	}
+	m, err := core.NewModel(base)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ro := core.RunOptions{Insts: len(recs), Seed: *seed, Warmup: 1}
+	r1, err := m.RunSources("trace", []trace.Source{trace.NewSliceSource(recs)}, ro)
+	if err != nil {
+		fatal("%v", err)
+	}
+	r2, err := m.RunSources("replay", []trace.Source{prog.Replay()}, ro)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("Reverse tracer: %d dynamic instrs -> %d static; trace %d cycles, replay %d cycles",
+		prog.Len(), prog.StaticInstrs(), r1.Cycles, r2.Cycles)
+	if r1.Cycles == r2.Cycles && r1.Committed == r2.Committed {
+		fmt.Println("  [EXACT MATCH]")
+	} else {
+		fmt.Println("  [MISMATCH]")
+		os.Exit(1)
+	}
+}
+
+func profileByName(name string) (workload.Profile, bool) {
+	switch strings.ToLower(name) {
+	case "specint95":
+		return workload.SPECint95(), true
+	case "specfp95":
+		return workload.SPECfp95(), true
+	case "specint2000":
+		return workload.SPECint2000(), true
+	case "specfp2000":
+		return workload.SPECfp2000(), true
+	case "tpcc":
+		return workload.TPCC(), true
+	}
+	return workload.Profile{}, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "accuracy: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command ingest converts a raw instruction capture — the
+// "<pc> <instruction-word> [<ea>]" per-line shape a Shade-style tracer
+// produces — into the model's binary trace format, decoding each SPARC-V9
+// word and inferring branch outcomes from the captured control flow.
+//
+// Example:
+//
+//	ingest -in capture.txt -out run.s64v -gzip
+//	sparc64sim -trace run.s64v
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sparc64v/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "raw capture file (default stdin)")
+		out      = flag.String("out", "", "binary trace output file (required)")
+		compress = flag.Bool("gzip", false, "gzip-compress the output")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal("need -out")
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	if *compress {
+		gz = gzip.NewWriter(f)
+		sink = gz
+	}
+	w, err := trace.NewWriter(sink)
+	if err != nil {
+		fatal("%v", err)
+	}
+	n, err := trace.IngestRaw(src, w)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal("%v", err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			fatal("%v", err)
+		}
+	}
+	fmt.Printf("ingested %d instructions into %s\n", n, *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ingest: "+format+"\n", args...)
+	os.Exit(1)
+}

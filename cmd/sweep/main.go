@@ -1,0 +1,61 @@
+// Command sweep regenerates every table and figure of the paper's
+// evaluation at full trace length and renders them as text or markdown
+// (the source of EXPERIMENTS.md).
+//
+// Example:
+//
+//	sweep -insts 1000000 -markdown > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sparc64v/internal/core"
+	"sparc64v/internal/expt"
+)
+
+func main() {
+	var (
+		insts    = flag.Int("insts", 1_000_000, "instructions per CPU per run")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	)
+	flag.Parse()
+
+	opt := core.RunOptions{Insts: *insts, Seed: *seed}
+	t0 := time.Now()
+	results, err := expt.All(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	if *markdown {
+		fmt.Printf("# EXPERIMENTS — paper vs. reproduced\n\n")
+		fmt.Printf("Regenerated with `go run ./cmd/sweep -insts %d -markdown` ", *insts)
+		fmt.Printf("(runtime %s).\n\n", time.Since(t0).Round(time.Second))
+		fmt.Println("Absolute numbers are not comparable to the paper (the workloads are")
+		fmt.Println("synthetic substitutes; see DESIGN.md). The reproduction target is the")
+		fmt.Println("*shape* of each comparison: who wins, roughly by how much, and where")
+		fmt.Println("the trade-offs fall. Each section lists the paper's claim and the")
+		fmt.Println("reproduced data.")
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("## %s — %s\n\n", r.ID, r.Title)
+			for _, n := range r.Notes {
+				fmt.Printf("*%s*\n\n", n)
+			}
+			fmt.Println(r.Table.Markdown())
+			if r.Chart != "" {
+				fmt.Printf("```\n%s```\n\n", r.Chart)
+			}
+		}
+		return
+	}
+	for _, r := range results {
+		fmt.Println(r.String())
+	}
+	fmt.Fprintf(os.Stderr, "sweep: done in %s\n", time.Since(t0).Round(time.Second))
+}

@@ -1,0 +1,86 @@
+// Command traceinfo summarizes a trace file: instruction mix, code and
+// data footprints, branch statistics, and optionally the first records.
+//
+// Example:
+//
+//	traceinfo -head 20 tpcc.s64v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparc64v/internal/isa"
+	"sparc64v/internal/stats"
+	"sparc64v/internal/trace"
+)
+
+func main() {
+	head := flag.Int("head", 0, "print the first N records")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-head N] <trace.s64v>")
+		os.Exit(1)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	rd, err := trace.OpenReader(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var (
+		r         trace.Record
+		total     uint64
+		byClass   [isa.NumClasses]uint64
+		taken     uint64
+		branches  uint64
+		codeLines = map[uint64]struct{}{}
+		dataLines = map[uint64]struct{}{}
+		printed   int
+	)
+	for rd.Next(&r) {
+		if printed < *head {
+			fmt.Println(r.String())
+			printed++
+		}
+		total++
+		byClass[r.Op]++
+		codeLines[r.PC>>6] = struct{}{}
+		if r.Op.IsMemory() {
+			dataLines[r.EA>>6] = struct{}{}
+		}
+		if r.Op.IsBranch() {
+			branches++
+			if r.Taken {
+				taken++
+			}
+		}
+	}
+	if rd.Err() != nil {
+		fatal("decode: %v", rd.Err())
+	}
+
+	t := stats.NewTable(fmt.Sprintf("%s: %d records", flag.Arg(0), total),
+		"class", "count", "fraction")
+	for c := isa.Class(0); c.Valid(); c++ {
+		if byClass[c] == 0 {
+			continue
+		}
+		t.AddRow(c.String(), byClass[c], stats.Ratio(byClass[c], total))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("code footprint: %d KB (64B lines touched)\n", len(codeLines)*64/1024)
+	fmt.Printf("data footprint: %d KB (64B lines touched)\n", len(dataLines)*64/1024)
+	fmt.Printf("branches: %d (%.1f%% of instrs), taken %.1f%%\n",
+		branches, 100*stats.Ratio(branches, total), 100*stats.Ratio(taken, branches))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

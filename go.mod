@@ -1,0 +1,3 @@
+module sparc64v
+
+go 1.24

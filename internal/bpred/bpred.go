@@ -1,0 +1,257 @@
+// Package bpred implements the SPARC64 V branch prediction machinery: a
+// set-associative, tagged branch history table (BHT) with 2-bit saturating
+// counters and stored targets, plus a return-address stack.
+//
+// The paper's Figure 9/10 study compares two BHT geometries — a 16K-entry
+// 4-way table with 2-cycle access ("16k-4w.2t") against a 4K-entry 2-way
+// table with 1-cycle access ("4k-2w.1t"). The access latency matters
+// because a predicted-taken branch cannot redirect fetch until the table
+// read completes: the large table costs two fetch bubbles per taken branch,
+// the small one costs one.
+package bpred
+
+import (
+	"fmt"
+
+	"sparc64v/internal/config"
+)
+
+type entry struct {
+	tag     uint64
+	target  uint64
+	counter uint8 // 2-bit saturating: 0,1 not-taken; 2,3 taken
+	valid   bool
+	lru     uint64
+}
+
+// BHT is a tagged, set-associative branch history table.
+type BHT struct {
+	sets    [][]entry
+	setMask uint64
+	access  int
+	tick    uint64
+}
+
+// NewBHT builds a table with the given geometry.
+func NewBHT(g config.BHTGeometry) *BHT {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := g.Entries / g.Ways
+	sets := make([][]entry, nsets)
+	backing := make([]entry, g.Entries)
+	for i := range sets {
+		sets[i], backing = backing[:g.Ways:g.Ways], backing[g.Ways:]
+	}
+	return &BHT{sets: sets, setMask: uint64(nsets - 1), access: g.AccessCycles}
+}
+
+// AccessCycles returns the table read latency (taken-branch fetch bubbles).
+func (b *BHT) AccessCycles() int { return b.access }
+
+func (b *BHT) index(pc uint64) (set uint64, tag uint64) {
+	line := pc >> 2
+	return line & b.setMask, line >> uint(popcount(b.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Lookup predicts the branch at pc. hit reports whether the table holds an
+// entry; when !hit the static prediction (not taken) applies.
+func (b *BHT) Lookup(pc uint64) (taken bool, target uint64, hit bool) {
+	set, tag := b.index(pc)
+	for i := range b.sets[set] {
+		e := &b.sets[set][i]
+		if e.valid && e.tag == tag {
+			b.tick++
+			e.lru = b.tick
+			return e.counter >= 2, e.target, true
+		}
+	}
+	return false, 0, false
+}
+
+// Update trains the table with the architected outcome. Entries are
+// allocated on taken branches (a never-taken branch costs nothing to
+// predict statically).
+func (b *BHT) Update(pc uint64, taken bool, target uint64) {
+	set, tag := b.index(pc)
+	ways := b.sets[set]
+	for i := range ways {
+		e := &ways[i]
+		if e.valid && e.tag == tag {
+			if taken {
+				if e.counter < 3 {
+					e.counter++
+				}
+				e.target = target
+			} else if e.counter > 0 {
+				e.counter--
+			}
+			return
+		}
+	}
+	if !taken {
+		return
+	}
+	// Allocate, evicting the LRU way.
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	b.tick++
+	ways[victim] = entry{tag: tag, target: target, counter: 3, valid: true, lru: b.tick}
+}
+
+// RAS is a fixed-depth return-address stack with wrap-around overwrite on
+// overflow (matching hardware behavior: deep recursion corrupts the oldest
+// entries, not the newest).
+type RAS struct {
+	buf []uint64
+	top int
+	n   int
+}
+
+// NewRAS returns a stack with the given capacity.
+func NewRAS(entries int) *RAS {
+	if entries < 1 {
+		entries = 1
+	}
+	return &RAS{buf: make([]uint64, entries)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.buf[r.top] = addr
+	r.top = (r.top + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Pop predicts the target of a return. ok is false when the stack is empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.n--
+	return r.buf[r.top], true
+}
+
+// Depth returns the current number of valid entries.
+func (r *RAS) Depth() int { return r.n }
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	// CondBranches and CondMispredicts count conditional branches.
+	CondBranches, CondMispredicts uint64
+	// Calls counts call instructions (always predicted taken).
+	Calls uint64
+	// Returns and ReturnMispredicts count RAS activity.
+	Returns, ReturnMispredicts uint64
+	// BHTHits counts conditional lookups that found an entry.
+	BHTHits uint64
+}
+
+// Branches returns the total control transfers predicted.
+func (s *Stats) Branches() uint64 { return s.CondBranches + s.Calls + s.Returns }
+
+// Mispredicts returns total mispredictions.
+func (s *Stats) Mispredicts() uint64 { return s.CondMispredicts + s.ReturnMispredicts }
+
+// FailureRate returns the paper's "branch prediction failure" metric:
+// mispredictions per predicted branch.
+func (s *Stats) FailureRate() float64 {
+	b := s.Branches()
+	if b == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts()) / float64(b)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("branches=%d mispredicts=%d (%.2f%%)",
+		s.Branches(), s.Mispredicts(), 100*s.FailureRate())
+}
+
+// Outcome is the front end's view of one predicted control transfer.
+type Outcome struct {
+	// Mispredict reports a direction or target misprediction: fetch went
+	// down the wrong path until the branch resolves.
+	Mispredict bool
+	// TakenBubbles is the fetch-gap cost, in cycles, of a correctly
+	// predicted taken transfer (BHT access latency).
+	TakenBubbles int
+}
+
+// Predictor bundles the BHT and RAS behind the interface the fetch unit
+// uses: feed it each control-transfer record (with its architected outcome)
+// and get back what the front end would have done.
+type Predictor struct {
+	bht *BHT
+	ras *RAS
+	// Stats accumulates outcome counts.
+	Stats Stats
+}
+
+// NewPredictor builds the predictor for the given geometry.
+func NewPredictor(bht config.BHTGeometry, rasEntries int) *Predictor {
+	return &Predictor{bht: NewBHT(bht), ras: NewRAS(rasEntries)}
+}
+
+// Conditional processes a conditional branch: pc, the architected outcome
+// taken/target.
+func (p *Predictor) Conditional(pc uint64, taken bool, target uint64) Outcome {
+	p.Stats.CondBranches++
+	predTaken, predTarget, hit := p.bht.Lookup(pc)
+	if hit {
+		p.Stats.BHTHits++
+	}
+	var o Outcome
+	switch {
+	case predTaken != taken:
+		o.Mispredict = true
+	case taken && predTarget != target:
+		o.Mispredict = true
+	case taken:
+		o.TakenBubbles = p.bht.AccessCycles()
+	}
+	if o.Mispredict {
+		p.Stats.CondMispredicts++
+	}
+	p.bht.Update(pc, taken, target)
+	return o
+}
+
+// Call processes a call instruction: the target is known at decode, so it
+// never mispredicts, but the taken redirect still costs the table bubbles,
+// and the return address is pushed for the matching Return.
+func (p *Predictor) Call(pc uint64) Outcome {
+	p.Stats.Calls++
+	p.ras.Push(pc + 4)
+	return Outcome{TakenBubbles: p.bht.AccessCycles()}
+}
+
+// Return processes a return: the RAS supplies the predicted target.
+func (p *Predictor) Return(target uint64) Outcome {
+	p.Stats.Returns++
+	pred, ok := p.ras.Pop()
+	if !ok || pred != target {
+		p.Stats.ReturnMispredicts++
+		return Outcome{Mispredict: true}
+	}
+	return Outcome{TakenBubbles: p.bht.AccessCycles()}
+}

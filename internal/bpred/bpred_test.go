@@ -1,0 +1,266 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparc64v/internal/config"
+)
+
+func smallGeo() config.BHTGeometry {
+	return config.BHTGeometry{Entries: 64, Ways: 2, AccessCycles: 1}
+}
+
+func TestBHTLearnsTaken(t *testing.T) {
+	b := NewBHT(smallGeo())
+	pc, tgt := uint64(0x1000), uint64(0x2000)
+	if taken, _, hit := b.Lookup(pc); taken || hit {
+		t.Fatal("cold lookup must be a static not-taken miss")
+	}
+	b.Update(pc, true, tgt)
+	taken, target, hit := b.Lookup(pc)
+	if !hit || !taken || target != tgt {
+		t.Fatalf("after one taken update: taken=%v target=%#x hit=%v", taken, target, hit)
+	}
+	// A single not-taken flips the 2-bit counter to weakly-taken, still taken.
+	b.Update(pc, false, 0)
+	if taken, _, _ := b.Lookup(pc); !taken {
+		t.Fatal("2-bit counter flipped after a single not-taken")
+	}
+	b.Update(pc, false, 0)
+	if taken, _, _ := b.Lookup(pc); taken {
+		t.Fatal("counter still taken after two not-takens")
+	}
+}
+
+func TestBHTNeverAllocatesNotTaken(t *testing.T) {
+	b := NewBHT(smallGeo())
+	b.Update(0x1000, false, 0)
+	if _, _, hit := b.Lookup(0x1000); hit {
+		t.Fatal("not-taken branch allocated an entry")
+	}
+}
+
+func TestBHTCapacityEviction(t *testing.T) {
+	g := smallGeo() // 32 sets * 2 ways
+	b := NewBHT(g)
+	// Fill one set's both ways plus one more mapping to the same set.
+	nsets := uint64(g.Entries / g.Ways)
+	pcs := []uint64{0x1000, 0x1000 + nsets*4, 0x1000 + 2*nsets*4}
+	for _, pc := range pcs {
+		b.Update(pc, true, pc+100)
+	}
+	hits := 0
+	for _, pc := range pcs {
+		if _, _, hit := b.Lookup(pc); hit {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("expected exactly 2 survivors in a 2-way set, got %d", hits)
+	}
+}
+
+func TestBHTTargetUpdate(t *testing.T) {
+	b := NewBHT(smallGeo())
+	b.Update(0x1000, true, 0x2000)
+	b.Update(0x1000, true, 0x3000) // indirect-style target change
+	_, target, _ := b.Lookup(0x1000)
+	if target != 0x3000 {
+		t.Fatalf("target = %#x, want 0x3000", target)
+	}
+}
+
+// Property: a strongly biased branch is predicted with accuracy well above
+// its bias floor; an alternating branch does poorly. Classic 2-bit counter
+// behavior.
+func TestCounterDynamics(t *testing.T) {
+	b := NewBHT(smallGeo())
+	rng := rand.New(rand.NewSource(42))
+	correct, total := 0, 0
+	for i := 0; i < 10000; i++ {
+		taken := rng.Float64() < 0.95
+		pred, _, _ := b.Lookup(0x4000)
+		if pred == taken {
+			correct++
+		}
+		total++
+		b.Update(0x4000, taken, 0x5000)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.90 {
+		t.Errorf("biased branch accuracy %.3f < 0.90", acc)
+	}
+	// Strict alternation defeats a 2-bit counter.
+	correct, total = 0, 0
+	for i := 0; i < 1000; i++ {
+		taken := i%2 == 0
+		pred, _, _ := b.Lookup(0x6000)
+		if pred == taken {
+			correct++
+		}
+		total++
+		b.Update(0x6000, taken, 0x7000)
+	}
+	if acc := float64(correct) / float64(total); acc > 0.6 {
+		t.Errorf("alternating branch accuracy %.3f suspiciously high", acc)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	if a, ok := r.Pop(); !ok || a != 2 {
+		t.Fatalf("Pop = %d,%v", a, ok)
+	}
+	if a, ok := r.Pop(); !ok || a != 1 {
+		t.Fatalf("Pop = %d,%v", a, ok)
+	}
+	// Overflow wraps: deepest entries are lost, newest survive.
+	for i := 1; i <= 6; i++ {
+		r.Push(uint64(i))
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("Depth = %d", r.Depth())
+	}
+	for want := 6; want >= 3; want-- {
+		a, ok := r.Pop()
+		if !ok || a != uint64(want) {
+			t.Fatalf("Pop = %d,%v, want %d", a, ok, want)
+		}
+	}
+}
+
+// Property: RAS behaves as a stack for any push/pop sequence within
+// capacity.
+func TestRASQuick(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRAS(64)
+		var model []uint64
+		next := uint64(1)
+		for _, push := range ops {
+			if push {
+				if len(model) == 64 {
+					continue
+				}
+				r.Push(next)
+				model = append(model, next)
+				next++
+			} else {
+				got, ok := r.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return r.Depth() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictorConditional(t *testing.T) {
+	p := NewPredictor(config.BHTGeometry{Entries: 1024, Ways: 4, AccessCycles: 2}, 8)
+	// Train a taken branch, then verify correct predictions cost bubbles.
+	o := p.Conditional(0x100, true, 0x200)
+	if !o.Mispredict {
+		t.Fatal("cold taken branch must mispredict (static not-taken)")
+	}
+	o = p.Conditional(0x100, true, 0x200)
+	if o.Mispredict || o.TakenBubbles != 2 {
+		t.Fatalf("trained taken branch: %+v", o)
+	}
+	// Correct not-taken prediction is free.
+	o = p.Conditional(0x300, false, 0)
+	if o.Mispredict || o.TakenBubbles != 0 {
+		t.Fatalf("not-taken branch: %+v", o)
+	}
+	// Target change on a predicted-taken branch is a misprediction.
+	o = p.Conditional(0x100, true, 0x999)
+	if !o.Mispredict {
+		t.Fatal("target mismatch not flagged")
+	}
+	if p.Stats.CondBranches != 4 || p.Stats.CondMispredicts != 2 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+}
+
+func TestPredictorCallReturn(t *testing.T) {
+	p := NewPredictor(smallGeo(), 8)
+	o := p.Call(0x1000)
+	if o.Mispredict {
+		t.Fatal("call mispredicted")
+	}
+	o = p.Return(0x1004)
+	if o.Mispredict {
+		t.Fatal("matched return mispredicted")
+	}
+	// Return with empty RAS mispredicts.
+	o = p.Return(0x2000)
+	if !o.Mispredict {
+		t.Fatal("empty-RAS return predicted")
+	}
+	if p.Stats.Returns != 2 || p.Stats.ReturnMispredicts != 1 || p.Stats.Calls != 1 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+	if p.Stats.Branches() != 3 {
+		t.Fatalf("Branches() = %d", p.Stats.Branches())
+	}
+	if got := p.Stats.FailureRate(); got < 0.33 || got > 0.34 {
+		t.Fatalf("FailureRate = %v", got)
+	}
+	if p.Stats.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+// The capacity story behind Figure 10: a branch working set that fits the
+// large table but thrashes the small one must show a clearly higher failure
+// rate on the small table.
+func TestGeometryCapacityEffect(t *testing.T) {
+	run := func(g config.BHTGeometry, nBranches int) float64 {
+		p := NewPredictor(g, 8)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200000; i++ {
+			pc := uint64(rng.Intn(nBranches))*4 + 0x10000
+			// All branches biased-taken: perfectly predictable when resident.
+			taken := rng.Float64() < 0.97
+			p.Conditional(pc, taken, pc+400)
+		}
+		return p.Stats.FailureRate()
+	}
+	big := config.BHTGeometry{Entries: 16 << 10, Ways: 4, AccessCycles: 2}
+	small := config.BHTGeometry{Entries: 4 << 10, Ways: 2, AccessCycles: 1}
+	const branches = 6000 // fits 16K, thrashes 4K
+	fBig, fSmall := run(big, branches), run(small, branches)
+	if fSmall < fBig*1.4 {
+		t.Errorf("small-table failure rate %.4f not ≫ big-table %.4f", fSmall, fBig)
+	}
+}
+
+func BenchmarkPredictor(b *testing.B) {
+	p := NewPredictor(config.BHTGeometry{Entries: 16 << 10, Ways: 4, AccessCycles: 2}, 8)
+	rng := rand.New(rand.NewSource(1))
+	pcs := make([]uint64, 1024)
+	for i := range pcs {
+		pcs[i] = uint64(rng.Intn(8000))*4 + 0x10000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := pcs[i%len(pcs)]
+		p.Conditional(pc, i%3 != 0, pc+400)
+	}
+}

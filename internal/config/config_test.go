@@ -1,0 +1,128 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaseValidates(t *testing.T) {
+	c := Base()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Base() invalid: %v", err)
+	}
+	// Table 1 numbers.
+	if c.CPU.IssueWidth != 4 || c.CPU.WindowSize != 64 ||
+		c.CPU.IntRenameRegs != 32 || c.CPU.FPRenameRegs != 32 {
+		t.Errorf("core params diverge from Table 1: %+v", c.CPU)
+	}
+	if c.L1I.SizeBytes != 128<<10 || c.L1I.Ways != 2 {
+		t.Errorf("L1I diverges from Table 1: %+v", c.L1I)
+	}
+	if c.L1D.Banks != 8 || c.L1D.BankBytes != 4 {
+		t.Errorf("L1D banking diverges: %+v", c.L1D)
+	}
+	if c.Mem.L2.SizeBytes != 2<<20 || c.Mem.L2.Ways != 4 || c.Mem.L2OffChip {
+		t.Errorf("L2 diverges from Table 1: %+v", c.Mem.L2)
+	}
+	if c.BHT.Entries != 16<<10 || c.BHT.Ways != 4 || c.BHT.AccessCycles != 2 {
+		t.Errorf("BHT diverges from Table 1: %+v", c.BHT)
+	}
+	if c.CPU.LoadQueueEntries != 16 || c.CPU.StoreQueueEntries != 10 {
+		t.Errorf("LSQ diverges from Table 1")
+	}
+	if c.CPU.RSAEntries != 10 || c.CPU.RSBREntries != 10 ||
+		c.CPU.RSEEntries != 8 || c.CPU.RSFEntries != 8 {
+		t.Errorf("reservation stations diverge from Table 1")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	base := Base()
+
+	v := base.WithIssueWidth(2)
+	if v.CPU.IssueWidth != 2 || base.CPU.IssueWidth != 4 {
+		t.Error("WithIssueWidth must not mutate the receiver")
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("issue2 invalid: %v", err)
+	}
+
+	v = base.WithSmallBHT()
+	if v.BHT.Entries != 4<<10 || v.BHT.AccessCycles != 1 {
+		t.Errorf("small BHT = %+v", v.BHT)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("small BHT invalid: %v", err)
+	}
+
+	v = base.WithSmallL1()
+	if v.L1I.SizeBytes != 32<<10 || v.L1I.Ways != 1 || v.L1D.HitCycles != 3 {
+		t.Errorf("small L1 = %+v / %+v", v.L1I, v.L1D)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("small L1 invalid: %v", err)
+	}
+
+	for _, ways := range []int{1, 2} {
+		v = base.WithOffChipL2(ways)
+		if !v.Mem.L2OffChip || v.Mem.L2.SizeBytes != 8<<20 || v.Mem.L2.Ways != ways {
+			t.Errorf("off-chip L2 = %+v", v.Mem)
+		}
+		if err := v.Validate(); err != nil {
+			t.Errorf("off-chip L2 invalid: %v", err)
+		}
+	}
+
+	v = base.WithoutPrefetch()
+	if v.Mem.Prefetch || !base.Mem.Prefetch {
+		t.Error("WithoutPrefetch wrong")
+	}
+	v = base.WithOneRS()
+	if !v.CPU.OneRS {
+		t.Error("WithOneRS wrong")
+	}
+	v = base.WithCPUs(16).WithName("smp")
+	if v.CPUs != 16 || v.Name != "smp" {
+		t.Error("WithCPUs/WithName wrong")
+	}
+	if !strings.Contains(base.WithIssueWidth(2).Name, "issue2") {
+		t.Error("variant naming missing")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.CPUs = 0 },
+		func(c *Config) { c.CPU.IssueWidth = 0 },
+		func(c *Config) { c.CPU.IntUnits = 0 },
+		func(c *Config) { c.CPU.LoadQueueEntries = 0 },
+		func(c *Config) { c.L1D.SizeBytes = 100 },        // not divisible
+		func(c *Config) { c.L1D.LineBytes = 48 },         // non power of two
+		func(c *Config) { c.Mem.L2.HitCycles = 0 },       // zero latency
+		func(c *Config) { c.BHT.Ways = 3 },               // bad BHT
+		func(c *Config) { c.L1I.LineBytes = 32 },         // line mismatch
+		func(c *Config) { c.Fidelity.FlatMemory = true }, // no flat latency
+	}
+	for i, mutate := range cases {
+		c := Base()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+}
+
+func TestCacheGeometrySets(t *testing.T) {
+	g := CacheGeometry{SizeBytes: 128 << 10, Ways: 2, LineBytes: 64, HitCycles: 4}
+	if got := g.Sets(); got != 1024 {
+		t.Errorf("Sets = %d, want 1024", got)
+	}
+}
+
+func TestFullFidelity(t *testing.T) {
+	f := FullFidelity()
+	if f.FlatMemory || !f.BHTBubbles || !f.BankConflicts || !f.TLBModeled ||
+		!f.BusContention || !f.CoherenceTiming {
+		t.Errorf("FullFidelity = %+v", f)
+	}
+}

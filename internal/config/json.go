@@ -1,0 +1,50 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON persistence for configurations. The paper's model carried ~500
+// parameters in configuration files so studies were reproducible from
+// artifacts; this is the same facility: dump a preset, edit, re-run.
+
+// WriteJSON serializes the configuration as indented JSON.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// FromJSON reads a configuration. The input is validated; unknown fields
+// are rejected so a typo cannot silently leave a parameter at its zero
+// value.
+func FromJSON(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// OverlayJSON reads a *partial* configuration on top of base: fields
+// present in the JSON replace the base values, everything else keeps the
+// preset. This is how study variants are expressed as small files.
+func OverlayJSON(base Config, r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	c := base
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,61 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	base := Base().WithSmallBHT().WithCPUs(4)
+	var sb strings.Builder
+	if err := base.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CPUs != 4 || back.BHT.Entries != 4<<10 || back.Name != base.Name {
+		t.Fatalf("round trip diverged: %+v", back)
+	}
+	if back.CPU.Latencies != base.CPU.Latencies {
+		t.Fatal("latencies diverged")
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	// Unknown fields fail loudly.
+	if _, err := FromJSON(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Structurally valid JSON that fails validation fails too.
+	var sb strings.Builder
+	bad := Base()
+	bad.CPUs = 0
+	bad.WriteJSON(&sb)
+	if _, err := FromJSON(strings.NewReader(sb.String())); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// Not JSON at all.
+	if _, err := FromJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestOverlayJSON(t *testing.T) {
+	// A partial overlay changes only what it names.
+	c, err := OverlayJSON(Base(), strings.NewReader(`{"CPUs": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CPUs != 8 {
+		t.Fatalf("CPUs = %d", c.CPUs)
+	}
+	if c.CPU.IssueWidth != 4 || c.Mem.L2.SizeBytes != 2<<20 {
+		t.Fatal("overlay clobbered unrelated fields")
+	}
+	// An overlay that breaks validation is rejected.
+	if _, err := OverlayJSON(Base(), strings.NewReader(`{"CPUs": -1}`)); err == nil {
+		t.Fatal("invalid overlay accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Package core is the top of the performance model — the paper's primary
+// contribution. A Model binds a machine configuration to workloads and
+// exposes the analyses the paper runs on it: plain runs (IPC and rates),
+// the perfect-ization stall breakdown of Figure 7, and the model-fidelity
+// version ladder (v1..v8) behind the accuracy study of Figure 19.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/stats"
+	"sparc64v/internal/system"
+	"sparc64v/internal/trace"
+	"sparc64v/internal/workload"
+)
+
+// Model is a machine configuration ready to run workloads.
+type Model struct {
+	cfg config.Config
+}
+
+// NewModel validates cfg and wraps it.
+func NewModel(cfg config.Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Config returns a copy of the model's configuration.
+func (m *Model) Config() config.Config { return m.cfg }
+
+// RunOptions controls a simulation run.
+type RunOptions struct {
+	// Insts is the trace length per CPU in instructions.
+	Insts int
+	// Seed selects the synthetic trace (the paper samples several trace
+	// windows; different seeds play that role).
+	Seed int64
+	// MaxCycles caps the run as a hang guard; 0 derives a generous cap
+	// from Insts.
+	MaxCycles uint64
+	// Warmup is the per-CPU committed-instruction count excluded from
+	// statistics (cache/BHT warmup, mirroring the paper's steady-state
+	// trace capture); 0 means Insts/5.
+	Warmup uint64
+}
+
+func (o *RunOptions) defaults() {
+	if o.Insts <= 0 {
+		o.Insts = 400_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = uint64(o.Insts)*400 + 10_000_000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = uint64(o.Insts / 5)
+	}
+}
+
+// Run simulates the profile on this model. For multiprocessor
+// configurations one trace per CPU is generated (sharing the profile's
+// Shared region).
+func (m *Model) Run(p workload.Profile, opt RunOptions) (system.Report, error) {
+	opt.defaults()
+	gens := workload.NewMP(p, opt.Seed, m.cfg.CPUs)
+	srcs := make([]trace.Source, len(gens))
+	for i, g := range gens {
+		srcs[i] = trace.NewLimitSource(g, opt.Insts)
+	}
+	return m.RunSources(p.Name, srcs, opt)
+}
+
+// RunSources simulates explicit trace sources (e.g. trace files).
+func (m *Model) RunSources(label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
+	opt.defaults()
+	cfg := m.cfg
+	cfg.WarmupInsts = opt.Warmup
+	sys, err := system.New(cfg, srcs)
+	if err != nil {
+		return system.Report{}, err
+	}
+	_, capped := sys.Run(opt.MaxCycles)
+	r := sys.Report(label)
+	r.HitCap = capped
+	if capped {
+		return r, fmt.Errorf("core: %s/%s hit the %d-cycle cap", m.cfg.Name, label, opt.MaxCycles)
+	}
+	return r, nil
+}
+
+// BreakdownResult is the Figure 7 analysis for one workload: the share of
+// execution time lost to each stall class, obtained by progressively
+// perfect-izing the machine.
+type BreakdownResult struct {
+	// Workload names the trace.
+	Workload string
+	// Breakdown holds the shares (core / branch / ibs+tlb / sx).
+	Breakdown stats.Breakdown
+	// Base, PerfectL2, PerfectL1, PerfectAll are the four runs' reports.
+	Base, PerfectL2, PerfectL1, PerfectAll system.Report
+}
+
+// Breakdown runs the four-model perfect-ization study on one workload:
+// the real machine, a machine whose L2 never misses, one whose L1s and
+// TLBs also never miss, and one with perfect branch prediction on top.
+// The cycle-count deltas attribute execution time exactly as section 4.2.
+func (m *Model) Breakdown(p workload.Profile, opt RunOptions) (BreakdownResult, error) {
+	res := BreakdownResult{Workload: p.Name}
+	runs := []struct {
+		perf config.Perfect
+		out  *system.Report
+	}{
+		{config.Perfect{}, &res.Base},
+		{config.Perfect{L2: true}, &res.PerfectL2},
+		{config.Perfect{L2: true, L1: true, TLB: true}, &res.PerfectL1},
+		{config.Perfect{L2: true, L1: true, TLB: true, Branch: true}, &res.PerfectAll},
+	}
+	for _, r := range runs {
+		sub, err := NewModel(m.cfg.WithPerfect(r.perf))
+		if err != nil {
+			return res, err
+		}
+		rep, err := sub.Run(p, opt)
+		if err != nil {
+			return res, err
+		}
+		*r.out = rep
+	}
+	res.Breakdown = stats.FromCycles(
+		res.Base.MeasuredCycles(), res.PerfectL2.MeasuredCycles(),
+		res.PerfectL1.MeasuredCycles(), res.PerfectAll.MeasuredCycles())
+	return res, nil
+}
+
+// Version is one rung of the model-fidelity ladder the paper labels
+// v1..v8 (Figure 19): each version models more of the machine, so the
+// performance estimate generally decreases as fidelity improves — except
+// where better modeling removes a pessimistic approximation (v5's detailed
+// special-instruction modeling).
+type Version struct {
+	// Name is the paper-style label ("v1".."v8").
+	Name string
+	// Detail describes what the version adds.
+	Detail string
+	// Apply derives the version's configuration from the final machine.
+	Apply func(config.Config) config.Config
+}
+
+// Versions returns the ladder, oldest first. v8 is the final model.
+func Versions() []Version {
+	lad := func(f config.Fidelity, detailedSpecial bool) func(config.Config) config.Config {
+		return func(c config.Config) config.Config {
+			return c.WithFidelity(f, detailedSpecial)
+		}
+	}
+	base := config.Fidelity{} // everything off
+	flat := base
+	flat.FlatMemory = true
+	flat.FlatMemoryCycles = 22
+	v2 := base // detailed latencies, no contention
+	v3 := v2
+	v3.BHTBubbles = true
+	v4 := v3
+	v4.BankConflicts = true
+	v5 := v4
+	v6 := v5
+	v6.TLBModeled = true
+	v7 := v6
+	v7.BusContention = true
+	v8 := config.FullFidelity()
+	return []Version{
+		{"v1", "flat-latency memory, idealized front end", lad(flat, false)},
+		{"v2", "detailed cache/memory latencies", lad(v2, false)},
+		{"v3", "BHT access bubbles on taken branches", lad(v3, false)},
+		{"v4", "L1 operand cache bank conflicts", lad(v4, false)},
+		{"v5", "detailed special-instruction modeling", lad(v5, true)},
+		{"v6", "TLB miss modeling", lad(v6, true)},
+		{"v7", "bus and memory-bank contention", lad(v7, true)},
+		{"v8", "MP coherence transfer timing (final model)", lad(v8, true)},
+	}
+}
+
+// Aggregate summarizes repeated runs of one configuration over several
+// trace samples (different seeds), the analogue of the paper sampling
+// multiple windows of its TPC-C traces.
+type Aggregate struct {
+	// Reports holds the per-seed reports.
+	Reports []system.Report
+	// MeanIPC and StdIPC summarize the IPC distribution.
+	MeanIPC, StdIPC float64
+}
+
+// RunMany runs the profile over n consecutive seeds starting at opt.Seed.
+func (m *Model) RunMany(p workload.Profile, opt RunOptions, n int) (Aggregate, error) {
+	if n < 1 {
+		n = 1
+	}
+	opt.defaults()
+	var agg Aggregate
+	var ipcs []float64
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)
+		r, err := m.Run(p, o)
+		if err != nil {
+			return agg, err
+		}
+		agg.Reports = append(agg.Reports, r)
+		ipcs = append(ipcs, r.IPC())
+	}
+	agg.MeanIPC = stats.Mean(ipcs)
+	var ss float64
+	for _, x := range ipcs {
+		d := x - agg.MeanIPC
+		ss += d * d
+	}
+	if len(ipcs) > 1 {
+		agg.StdIPC = math.Sqrt(ss / float64(len(ipcs)-1))
+	}
+	return agg, nil
+}

@@ -1,0 +1,27 @@
+package cpu
+
+import "fmt"
+
+// DumpWindow prints in-flight entries (debug helper used while bringing up
+// the model; kept test-only).
+func (c *CPU) DumpWindow() {
+	for seq := c.head; seq < c.tail; seq++ {
+		e := c.entry(seq)
+		if e == nil {
+			fmt.Printf("  seq=%d GONE\n", seq)
+			continue
+		}
+		inSt := false
+		if e.station >= 0 {
+			for _, s := range c.stations[e.station] {
+				if s == seq {
+					inSt = true
+				}
+			}
+		}
+		fmt.Printf("  seq=%d op=%v st=%d stn=%d inStation=%v disp=%d fwd=%d comp=%d specU=%d addrR=%d acc=%v src1=%d src2=%d data=%d mp=%v\n",
+			seq, e.rec.Op, e.st, e.station, inSt, e.dispCycle, int64(e.fwdCycle), int64(e.completeCycle),
+			e.specUntil, int64(e.addrReady), e.accessed, e.src1Seq, e.src2Seq, e.dataSeq, e.mispredict)
+	}
+	fmt.Printf("  blockSeq=%d resume=%d serial=%d\n", c.blockSeq, int64(c.fetchResumeAt), c.serializeSeq)
+}

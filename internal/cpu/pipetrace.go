@@ -1,0 +1,71 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"sparc64v/internal/isa"
+)
+
+// PipeEvent is the lifecycle of one committed instruction through the
+// pipeline, for visualization and model debugging (the kind of detailed
+// per-instruction comparison the paper ran between the performance model
+// and the logic simulator).
+type PipeEvent struct {
+	// Seq is the global instruction sequence number.
+	Seq uint64
+	// PC and Op identify the instruction.
+	PC uint64
+	Op isa.Class
+	// Fetch, Issue, Dispatch, Complete, Commit are the cycles the
+	// instruction passed each stage (Dispatch is the final, successful
+	// dispatch when cancellations occurred).
+	Fetch, Issue, Dispatch, Complete, Commit uint64
+	// Cancels counts speculative-dispatch cancellations suffered.
+	Cancels int
+	// Mispredict marks a mispredicted control transfer.
+	Mispredict bool
+}
+
+// String renders one line of a pipeline trace.
+func (e *PipeEvent) String() string {
+	flags := ""
+	if e.Mispredict {
+		flags += " MISPRED"
+	}
+	if e.Cancels > 0 {
+		flags += fmt.Sprintf(" CANCELx%d", e.Cancels)
+	}
+	return fmt.Sprintf("seq=%-7d pc=%#010x %-7s F=%-8d I=%-8d D=%-8d X=%-8d C=%-8d%s",
+		e.Seq, e.PC, e.Op, e.Fetch, e.Issue, e.Dispatch, e.Complete, e.Commit, flags)
+}
+
+// Lane renders a gem5-style occupancy diagram of the event relative to a
+// base cycle: one character per cycle — 'f' fetch/decode, 'i' waiting in a
+// reservation station, 'd' executing, '.' waiting to commit, 'C' commit.
+func (e *PipeEvent) Lane(base uint64, width int) string {
+	var sb strings.Builder
+	for c := base; c < base+uint64(width); c++ {
+		switch {
+		case c < e.Fetch:
+			sb.WriteByte(' ')
+		case c < e.Issue:
+			sb.WriteByte('f')
+		case c < e.Dispatch:
+			sb.WriteByte('i')
+		case c < e.Complete:
+			sb.WriteByte('d')
+		case c < e.Commit:
+			sb.WriteByte('.')
+		case c == e.Commit:
+			sb.WriteByte('C')
+		default:
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// SetPipeTracer installs a per-committed-instruction observer. Pass nil to
+// disable. Tracing is off the hot path: a nil check per commit.
+func (c *CPU) SetPipeTracer(f func(*PipeEvent)) { c.pipeTracer = f }

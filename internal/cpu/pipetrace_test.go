@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"sparc64v/internal/isa"
+	"sparc64v/internal/trace"
+)
+
+func TestPipeTracerOrdering(t *testing.T) {
+	cfg := testConfig()
+	recs := nops(500, 0x1000)
+	port := &fakePort{latency: 100}
+	chip := NewChipMem(&cfg, 0, port)
+	c := New(&cfg, 0, chip, trace.NewSliceSource(recs))
+	var events []PipeEvent
+	c.SetPipeTracer(func(e *PipeEvent) { events = append(events, *e) })
+	for cycle := uint64(0); !c.Done(); cycle++ {
+		c.Tick(cycle)
+	}
+	if len(events) != 500 {
+		t.Fatalf("traced %d events, want 500", len(events))
+	}
+	for i := range events {
+		e := &events[i]
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d (commit must be in order)", i, e.Seq)
+		}
+		if !(e.Fetch <= e.Issue && e.Issue <= e.Dispatch &&
+			e.Dispatch < e.Complete && e.Complete <= e.Commit) {
+			t.Fatalf("event %d stages out of order: %+v", i, e)
+		}
+	}
+	// Commit cycles are monotone non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].Commit < events[i-1].Commit {
+			t.Fatalf("commit order violated at %d", i)
+		}
+	}
+}
+
+func TestPipeTracerCancelCount(t *testing.T) {
+	cfg := testConfig()
+	cfg.Perfect.L1 = false
+	var recs []trace.Record
+	for i := 0; i < 300; i++ {
+		recs = append(recs, trace.Record{PC: uint64(0x1000 + 8*(i%128)), Op: isa.Load,
+			EA: uint64(0x100000 + i*4096), Size: 8, Dst: 8, Src1: isa.RegNone, Src2: isa.RegNone})
+		recs = append(recs, alu(uint64(0x1004+8*(i%128)), 9, 8))
+	}
+	port := &fakePort{latency: 100}
+	chip := NewChipMem(&cfg, 0, port)
+	c := New(&cfg, 0, chip, trace.NewSliceSource(recs))
+	cancels := 0
+	c.SetPipeTracer(func(e *PipeEvent) { cancels += e.Cancels })
+	for cycle := uint64(0); !c.Done(); cycle++ {
+		c.Tick(cycle)
+	}
+	if cancels == 0 {
+		t.Fatal("miss-heavy run traced no cancellations")
+	}
+	if uint64(cancels) != c.Stats.SpecCancels {
+		t.Fatalf("traced cancels %d != stats %d", cancels, c.Stats.SpecCancels)
+	}
+}
+
+func TestPipeEventRendering(t *testing.T) {
+	e := PipeEvent{Seq: 7, PC: 0x1000, Op: isa.Load,
+		Fetch: 10, Issue: 16, Dispatch: 18, Complete: 25, Commit: 26,
+		Cancels: 1, Mispredict: true}
+	s := e.String()
+	for _, want := range []string{"seq=7", "load", "MISPRED", "CANCELx1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+	lane := e.Lane(8, 24)
+	if len(lane) != 24 {
+		t.Fatalf("lane width %d", len(lane))
+	}
+	for _, ch := range []string{"f", "i", "d", "C"} {
+		if !strings.Contains(lane, ch) {
+			t.Errorf("lane missing %q: %q", ch, lane)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package expt reproduces every table and figure of the paper's evaluation
+// (section 4 and 5). Each harness sets up the same machine comparisons the
+// paper ran on its performance model and renders the same rows/series.
+// Absolute numbers differ (synthetic workloads, not Fujitsu's traces) but
+// the comparisons' shapes are the reproduction target; see EXPERIMENTS.md.
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/core"
+	"sparc64v/internal/stats"
+	"sparc64v/internal/system"
+	"sparc64v/internal/verif"
+	"sparc64v/internal/workload"
+)
+
+// Result is one reproduced table or figure.
+type Result struct {
+	// ID is the paper artifact ("Table 1", "Figure 7", ...).
+	ID string
+	// Title describes the study.
+	Title string
+	// Table holds the data.
+	Table *stats.Table
+	// Chart is an ASCII rendering of the figure's headline series (the
+	// paper presents these as bar graphs), when one applies.
+	Chart string
+	// Notes records expected-shape commentary.
+	Notes []string
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table.String())
+	if r.Chart != "" {
+		s += "\n" + r.Chart
+	}
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// run executes one workload on one configuration.
+func run(cfg config.Config, p workload.Profile, opt core.RunOptions) (system.Report, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return system.Report{}, err
+	}
+	return m.Run(p, opt)
+}
+
+// mpOpt scales a run down for 16-processor studies (16 traces execute in
+// one global-cycle loop; per-CPU windows shrink to keep total work sane).
+func mpOpt(opt core.RunOptions) core.RunOptions {
+	o := opt
+	if o.Insts <= 0 {
+		o.Insts = 400_000
+	}
+	o.Insts /= 4
+	if o.Insts < 30_000 {
+		o.Insts = 30_000
+	}
+	o.Warmup = uint64(o.Insts / 5)
+	return o
+}
+
+// Table1 reports the base machine parameters (the paper's Table 1).
+func Table1() Result {
+	c := config.Base()
+	t := stats.NewTable("SPARC64 V microarchitecture (base model)", "parameter", "value")
+	t.AddRow("Instruction set architecture", "SPARC-V9")
+	t.AddRow("Execution control", "out-of-order superscalar")
+	t.AddRow("Issue width", c.CPU.IssueWidth)
+	t.AddRow("Instruction window", c.CPU.WindowSize)
+	t.AddRow("Instruction fetch width (bytes)", c.CPU.FetchBytes)
+	t.AddRow("Renaming registers (int/fp)",
+		fmt.Sprintf("%d/%d", c.CPU.IntRenameRegs, c.CPU.FPRenameRegs))
+	t.AddRow("Reservation stations",
+		fmt.Sprintf("RSE 2x%d, RSF 2x%d, RSA %d, RSBR %d",
+			c.CPU.RSEEntries, c.CPU.RSFEntries, c.CPU.RSAEntries, c.CPU.RSBREntries))
+	t.AddRow("Execution units",
+		fmt.Sprintf("EX %d, FL %d (multiply-add), EAG %d",
+			c.CPU.IntUnits, c.CPU.FPUnits, c.CPU.AGUnits))
+	t.AddRow("Load/store queues",
+		fmt.Sprintf("%d/%d", c.CPU.LoadQueueEntries, c.CPU.StoreQueueEntries))
+	t.AddRow("Branch history table",
+		fmt.Sprintf("%d-way, %dK-entry, %d-cycle", c.BHT.Ways, c.BHT.Entries>>10, c.BHT.AccessCycles))
+	t.AddRow("L1 caches (I/D)",
+		fmt.Sprintf("%d-way, %dKB, %d/%d-cycle", c.L1I.Ways, c.L1I.SizeBytes>>10,
+			c.L1I.HitCycles, c.L1D.HitCycles))
+	t.AddRow("L1D banks", fmt.Sprintf("%dx%dB", c.L1D.Banks, c.L1D.BankBytes))
+	t.AddRow("L2 cache",
+		fmt.Sprintf("on-chip %d-way %dMB, %d-cycle", c.Mem.L2.Ways,
+			c.Mem.L2.SizeBytes>>20, c.Mem.L2.HitCycles))
+	t.AddRow("Memory latency (cycles)", c.Mem.DRAMCycles)
+	t.AddRow("Hardware prefetch",
+		fmt.Sprintf("L1-miss triggered, degree %d, stride detector", c.Mem.PrefetchDegree))
+	return Result{ID: "Table 1", Title: "Microarchitecture", Table: t}
+}
+
+// Fig07 reproduces the benchmark characterization: execution-time
+// breakdown into core / branch / ibs+tlb / sx via perfect-ization.
+func Fig07(opt core.RunOptions) (Result, error) {
+	t := stats.NewTable("Execution time breakdown (fraction of cycles)",
+		"workload", "core", "branch", "ibs/tlb", "sx")
+	m, err := core.NewModel(config.Base())
+	if err != nil {
+		return Result{}, err
+	}
+	var labels []string
+	var shares [][]float64
+	for _, p := range workload.UPProfiles() {
+		br, err := m.Breakdown(p, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		b := br.Breakdown
+		t.AddRow(p.Name, b.Core, b.Branch, b.IBSTLB, b.SX)
+		labels = append(labels, p.Name)
+		shares = append(shares, []float64{b.Core, b.Branch, b.IBSTLB, b.SX})
+	}
+	chart := stats.StackedBars("", labels, shares,
+		[]string{"core", "branch", "ibs/tlb", "sx"}, []rune{'c', 'b', 'i', 's'})
+	return Result{
+		ID:    "Figure 7",
+		Title: "Benchmark characteristics",
+		Table: t,
+		Chart: chart,
+		Notes: []string{
+			"expected: TPC-C dominated by sx (L2 miss) stalls;",
+			"SPECint95 spends ~30% on branch stalls; SPECfp95 ~74% in the core",
+		},
+	}, nil
+}
+
+// Fig08 reproduces the issue-width study: 4-way vs 2-way IPC.
+func Fig08(opt core.RunOptions) (Result, error) {
+	t := stats.NewTable("Issue width: 4-way vs 2-way",
+		"workload", "IPC 4w", "IPC 2w", "2w vs 4w %")
+	base := config.Base()
+	two := base.WithIssueWidth(2)
+	var labels []string
+	var deltas []float64
+	for _, p := range workload.UPProfiles() {
+		r4, err := run(base, p, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		r2, err := run(two, p, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		d := stats.PercentDelta(r2.IPC(), r4.IPC())
+		t.AddRow(p.Name, r4.IPC(), r2.IPC(), d)
+		labels = append(labels, p.Name)
+		deltas = append(deltas, d)
+	}
+	return Result{
+		ID:    "Figure 8",
+		Title: "Issue width — 4-way vs 2-way",
+		Table: t,
+		Chart: stats.Bars("2-way IPC relative to 4-way (%)", labels, deltas, "%"),
+		Notes: []string{"expected: 2-way clearly slower everywhere; largest gap on high-hit-ratio SPECint"},
+	}, nil
+}
+
+// Fig09and10 reproduces the BHT geometry study: IPC and prediction
+// failure rates for 16k-4w.2t vs 4k-2w.1t.
+func Fig09and10(opt core.RunOptions) (Result, Result, error) {
+	ipc := stats.NewTable("BHT geometry: IPC",
+		"workload", "IPC 16k-4w.2t", "IPC 4k-2w.1t", "4k vs 16k %")
+	fail := stats.NewTable("Branch prediction failures (mispredicts/branch)",
+		"workload", "16k-4w.2t", "4k-2w.1t", "increase %")
+	base := config.Base()
+	small := base.WithSmallBHT()
+	for _, p := range workload.UPProfiles() {
+		rb, err := run(base, p, opt)
+		if err != nil {
+			return Result{}, Result{}, err
+		}
+		rs, err := run(small, p, opt)
+		if err != nil {
+			return Result{}, Result{}, err
+		}
+		ipc.AddRow(p.Name, rb.IPC(), rs.IPC(), stats.PercentDelta(rs.IPC(), rb.IPC()))
+		fb, fs := rb.BranchFailureRate(), rs.BranchFailureRate()
+		fail.AddRow(p.Name, fb, fs, stats.PercentDelta(fs, fb))
+	}
+	r9 := Result{ID: "Figure 9", Title: "Branch history table — latency vs size", Table: ipc,
+		Notes: []string{"expected: SPEC ~indifferent (small table's 1-cycle access compensates);",
+			"TPC-C loses ~5% IPC with the small table"}}
+	r10 := Result{ID: "Figure 10", Title: "Branch prediction failures", Table: fail,
+		Notes: []string{"expected: TPC-C failure rate ~60% greater on 4k-2w.1t; SPEC unchanged"}}
+	return r9, r10, nil
+}
+
+// Fig11to13 reproduces the L1 geometry study: IPC and I/D miss ratios for
+// 128k-2w.4c vs 32k-1w.3c.
+func Fig11to13(opt core.RunOptions) (Result, Result, Result, error) {
+	ipc := stats.NewTable("L1 geometry: IPC",
+		"workload", "IPC 128k-2w.4c", "IPC 32k-1w.3c", "32k vs 128k %")
+	imiss := stats.NewTable("L1 instruction cache miss ratio",
+		"workload", "128k-2w", "32k-1w", "increase %")
+	dmiss := stats.NewTable("L1 operand cache miss ratio",
+		"workload", "128k-2w", "32k-1w", "increase %")
+	base := config.Base()
+	small := base.WithSmallL1()
+	for _, p := range workload.UPProfiles() {
+		rb, err := run(base, p, opt)
+		if err != nil {
+			return Result{}, Result{}, Result{}, err
+		}
+		rs, err := run(small, p, opt)
+		if err != nil {
+			return Result{}, Result{}, Result{}, err
+		}
+		ipc.AddRow(p.Name, rb.IPC(), rs.IPC(), stats.PercentDelta(rs.IPC(), rb.IPC()))
+		imiss.AddRow(p.Name, rb.L1IMissRate(), rs.L1IMissRate(),
+			stats.PercentDelta(rs.L1IMissRate(), rb.L1IMissRate()))
+		dmiss.AddRow(p.Name, rb.L1DMissRate(), rs.L1DMissRate(),
+			stats.PercentDelta(rs.L1DMissRate(), rb.L1DMissRate()))
+	}
+	r11 := Result{ID: "Figure 11", Title: "L1 cache — latency vs volume", Table: ipc,
+		Notes: []string{"expected: small IPC loss overall (~2% on TPC-C); SPEC barely moves"}}
+	r12 := Result{ID: "Figure 12", Title: "L1 instruction cache miss", Table: imiss,
+		Notes: []string{"expected: TPC-C I-miss roughly doubles (+99% in the paper) on 32k-1w"}}
+	r13 := Result{ID: "Figure 13", Title: "L1 operand cache miss", Table: dmiss,
+		Notes: []string{"expected: TPC-C D-miss ~+64% on 32k-1w"}}
+	return r11, r12, r13, nil
+}
+
+// Fig14and15 reproduces the L2 study: on-chip 2MB 4-way vs off-chip 8MB
+// 2-way and direct-mapped, including the TPC-C 16-processor SMP model.
+func Fig14and15(opt core.RunOptions) (Result, Result, error) {
+	ipc := stats.NewTable("L2 geometry: IPC relative to on.2m-4w (%)",
+		"workload", "off.8m-2w %", "off.8m-1w %")
+	miss := stats.NewTable("L2 cache miss ratio (demand)",
+		"workload", "on.2m-4w", "off.8m-2w", "off.8m-1w")
+	configs := []config.Config{
+		config.Base(),
+		config.Base().WithOffChipL2(2),
+		config.Base().WithOffChipL2(1),
+	}
+	profiles := workload.UPProfiles()
+	for _, p := range profiles {
+		var ipcs [3]float64
+		var misses [3]float64
+		for i, cfg := range configs {
+			r, err := run(cfg, p, opt)
+			if err != nil {
+				return Result{}, Result{}, err
+			}
+			ipcs[i] = r.IPC()
+			misses[i] = r.L2DemandMissRate()
+		}
+		ipc.AddRow(p.Name, stats.PercentDelta(ipcs[1], ipcs[0]), stats.PercentDelta(ipcs[2], ipcs[0]))
+		miss.AddRow(p.Name, misses[0], misses[1], misses[2])
+	}
+	// TPC-C (16P): the MP model.
+	p16 := workload.TPCC16P()
+	o16 := mpOpt(opt)
+	var ipcs [3]float64
+	var misses [3]float64
+	for i, cfg := range configs {
+		r, err := run(cfg.WithCPUs(16), p16, o16)
+		if err != nil {
+			return Result{}, Result{}, err
+		}
+		ipcs[i] = r.IPC()
+		misses[i] = r.L2DemandMissRate()
+	}
+	ipc.AddRow(p16.Name, stats.PercentDelta(ipcs[1], ipcs[0]), stats.PercentDelta(ipcs[2], ipcs[0]))
+	miss.AddRow(p16.Name, misses[0], misses[1], misses[2])
+
+	r14 := Result{ID: "Figure 14", Title: "L2 cache — latency vs volume", Table: ipc,
+		Notes: []string{"expected: off.8m-1w clearly loses on TPC-C (−12..−14%) despite 4x capacity;",
+			"off.8m-2w roughly par or slightly ahead; reproduced: the −12..−16% TPC-C loss for",
+			"off.8m-1w appears (code/data page conflicts in the direct-mapped array), off.8m-2w",
+			"sits between it and on.2m-4w"}}
+	r15 := Result{ID: "Figure 15", Title: "L2 cache miss", Table: miss,
+		Notes: []string{"expected: 8MB cuts miss ratios; direct mapping gives conflicts back"}}
+	return r14, r15, nil
+}
+
+// Fig16and17 reproduces the hardware prefetch study.
+func Fig16and17(opt core.RunOptions) (Result, Result, error) {
+	ipc := stats.NewTable("Hardware prefetch: IPC impact",
+		"workload", "IPC with", "IPC without", "gain %")
+	miss := stats.NewTable("L2 miss ratio under prefetch",
+		"workload", "with", "with-Demand", "without")
+	base := config.Base()
+	nopf := base.WithoutPrefetch()
+	for _, p := range workload.UPProfiles() {
+		rw, err := run(base, p, opt)
+		if err != nil {
+			return Result{}, Result{}, err
+		}
+		ro, err := run(nopf, p, opt)
+		if err != nil {
+			return Result{}, Result{}, err
+		}
+		ipc.AddRow(p.Name, rw.IPC(), ro.IPC(), stats.PercentDelta(rw.IPC(), ro.IPC()))
+		miss.AddRow(p.Name, rw.L2TotalMissRate(), rw.L2DemandMissRate(), ro.L2DemandMissRate())
+	}
+	r16 := Result{ID: "Figure 16", Title: "Hardware prefetching impact", Table: ipc,
+		Notes: []string{"expected: SPECfp gains most (>13% in the paper; chain/stream access patterns);",
+			"reproduced: same ordering with larger magnitudes (the 64-entry window exposes",
+			"more of the un-prefetched miss latency than the paper's testbed)"}}
+	r17 := Result{ID: "Figure 17", Title: "Hardware prefetching — L2 cache miss", Table: miss,
+		Notes: []string{"expected: with-Demand < without (fewer demand misses);",
+			"with > with-Demand exposes unnecessary prefetch traffic"}}
+	return r16, r17, nil
+}
+
+// Fig18 reproduces the reservation-station topology study: fused 1RS
+// (up to two dispatches) vs the adopted 2RS.
+func Fig18(opt core.RunOptions) (Result, error) {
+	t := stats.NewTable("Reservation stations: 2RS relative to 1RS",
+		"workload", "IPC 1RS", "IPC 2RS", "2RS vs 1RS %")
+	oneRS := config.Base().WithOneRS()
+	twoRS := config.Base()
+	for _, p := range workload.UPProfiles() {
+		r1, err := run(oneRS, p, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		r2, err := run(twoRS, p, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(p.Name, r1.IPC(), r2.IPC(), stats.PercentDelta(r2.IPC(), r1.IPC()))
+	}
+	return Result{ID: "Figure 18", Title: "Reservation station — 1RS vs 2RS", Table: t,
+		Notes: []string{"expected: 2RS slightly slower (the paper accepts the small loss for simpler dispatch);",
+			"reproduced: integer/OLTP ≈ −1% as in the paper; our FP loss is larger (station",
+			"capacity pooling matters more under this model's FP chains)"}}, nil
+}
+
+// Fig19 reproduces the model-accuracy study: version estimates relative
+// to the final model, and errors against the physical-machine proxy.
+func Fig19(opt core.RunOptions) (Result, error) {
+	t := stats.NewTable("Performance model accuracy (SPEC CPU2000 workloads)",
+		"version", "detail", "int2000 perf/v8", "int2000 err vs machine %", "fp2000 perf/v8", "fp2000 err vs machine %")
+	si, err := verif.RunAccuracyStudy(config.Base(), workload.SPECint2000(), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	sf, err := verif.RunAccuracyStudy(config.Base(), workload.SPECfp2000(), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range si.Points {
+		pi, pf := si.Points[i], sf.Points[i]
+		t.AddRow(pi.Name, pi.Detail, pi.RatioToFinal, 100*pi.ErrorVsMachine,
+			pf.RatioToFinal, 100*pf.ErrorVsMachine)
+	}
+	return Result{ID: "Figure 19", Title: "Performance model accuracy", Table: t,
+		Notes: []string{
+			fmt.Sprintf("final error: SPECint2000 %.1f%%, SPECfp2000 %.1f%% (paper: 4.2%% / 3.9%%)",
+				100*si.FinalError(), 100*sf.FinalError()),
+			"expected: estimates decrease with fidelity except the v5 bump (special instructions)",
+		}}, nil
+}
+
+// All runs every experiment in presentation order.
+func All(opt core.RunOptions) ([]Result, error) {
+	out := []Result{Table1()}
+	add := func(rs ...Result) { out = append(out, rs...) }
+	r7, err := Fig07(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r7)
+	r8, err := Fig08(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r8)
+	r9, r10, err := Fig09and10(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r9, r10)
+	r11, r12, r13, err := Fig11to13(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r11, r12, r13)
+	r14, r15, err := Fig14and15(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r14, r15)
+	r16, r17, err := Fig16and17(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r16, r17)
+	r18, err := Fig18(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r18)
+	r19, err := Fig19(opt)
+	if err != nil {
+		return out, err
+	}
+	add(r19)
+	hpc, err := HPCStudy(opt)
+	if err != nil {
+		return out, err
+	}
+	add(hpc)
+	add(ModelSpeed())
+	return out, nil
+}
+
+// HPCStudy is an extension experiment (not a paper figure): it quantifies
+// the dual floating-point multiply-add units the paper highlights as the
+// machine's HPC feature, on a dense FMA kernel.
+func HPCStudy(opt core.RunOptions) (Result, error) {
+	t := stats.NewTable("Dual multiply-add units on a dense FP kernel",
+		"configuration", "IPC", "vs base %")
+	kernel := workload.HPC()
+	variants := []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"base (2x FL, 4-issue)", nil},
+		{"1x FL unit", func(c *config.Config) { c.CPU.FPUnits = 1 }},
+		{"2-issue", func(c *config.Config) { *c = c.WithIssueWidth(2) }},
+		{"no speculative dispatch", func(c *config.Config) { c.CPU.SpeculativeDispatch = false }},
+		{"no data forwarding", func(c *config.Config) { c.CPU.DataForwarding = false }},
+	}
+	var base float64
+	for i, v := range variants {
+		cfg := config.Base()
+		if v.mutate != nil {
+			v.mutate(&cfg)
+		}
+		r, err := run(cfg, kernel, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		if i == 0 {
+			base = r.IPC()
+		}
+		t.AddRow(v.name, r.IPC(), stats.PercentDelta(r.IPC(), base))
+	}
+	return Result{ID: "Extension", Title: "HPC: dual multiply-add units", Table: t,
+		Notes: []string{"the paper: \"having two sets of floating-point multiply-add execution",
+			"units is effective for HPC performance\" — quantified here"}}, nil
+}
+
+// ModelSpeed measures the simulator's own throughput — the modern
+// counterpart of the paper's "7.8K instructions per second on a 1-GHz
+// Pentium III" quote for their C model.
+func ModelSpeed() Result {
+	t := stats.NewTable("Performance-model execution speed (this host)",
+		"workload", "simulated instrs/second")
+	for _, p := range []workload.Profile{workload.SPECint95(), workload.TPCC()} {
+		m, err := core.NewModel(config.Base())
+		if err != nil {
+			continue
+		}
+		start := timeNow()
+		r, err := m.Run(p, core.RunOptions{Insts: 200_000})
+		if err != nil {
+			continue
+		}
+		sec := timeNow().Sub(start).Seconds()
+		t.AddRow(p.Name, float64(r.Committed+uint64(200_000/5))/sec)
+	}
+	return Result{ID: "Section 2.1", Title: "Model speed", Table: t,
+		Notes: []string{"the paper's model ran at 7.8K instr/s on a 1-GHz Pentium III"}}
+}
+
+// timeNow is indirected for tests.
+var timeNow = time.Now

@@ -1,0 +1,150 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"sparc64v/internal/core"
+)
+
+// Small windows keep the suite fast; shape assertions are correspondingly
+// loose (the full-size shapes are validated by cmd/sweep and recorded in
+// EXPERIMENTS.md).
+func testOpt() core.RunOptions { return core.RunOptions{Insts: 50_000} }
+
+func TestTable1(t *testing.T) {
+	r := Table1()
+	if r.ID != "Table 1" || r.Table.Rows() < 10 {
+		t.Fatalf("Table1 = %+v", r)
+	}
+	s := r.String()
+	for _, want := range []string{"SPARC-V9", "out-of-order", "16K-entry", "2MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestFig07(t *testing.T) {
+	r, err := Fig07(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.Rows() != 5 {
+		t.Fatalf("Fig07 has %d rows", r.Table.Rows())
+	}
+	if !strings.Contains(r.Table.String(), "TPC-C") {
+		t.Error("Fig07 missing TPC-C row")
+	}
+}
+
+func TestFig08(t *testing.T) {
+	r, err := Fig08(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.Rows() != 5 {
+		t.Fatalf("Fig08 has %d rows", r.Table.Rows())
+	}
+}
+
+func TestFig09and10(t *testing.T) {
+	r9, r10, err := Fig09and10(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r9.Table.Rows() != 5 || r10.Table.Rows() != 5 {
+		t.Fatal("BHT figures incomplete")
+	}
+}
+
+func TestFig11to13(t *testing.T) {
+	r11, r12, r13, err := Fig11to13(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Result{r11, r12, r13} {
+		if r.Table.Rows() != 5 {
+			t.Fatalf("%s has %d rows", r.ID, r.Table.Rows())
+		}
+	}
+}
+
+func TestFig14and15(t *testing.T) {
+	r14, r15, err := Fig14and15(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five UP workloads plus TPC-C(16P).
+	if r14.Table.Rows() != 6 || r15.Table.Rows() != 6 {
+		t.Fatalf("L2 figures: %d/%d rows", r14.Table.Rows(), r15.Table.Rows())
+	}
+	if !strings.Contains(r14.Table.String(), "TPC-C(16P)") {
+		t.Error("Fig14 missing the 16P row")
+	}
+}
+
+func TestFig16and17(t *testing.T) {
+	r16, r17, err := Fig16and17(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Table.Rows() != 5 || r17.Table.Rows() != 5 {
+		t.Fatal("prefetch figures incomplete")
+	}
+}
+
+func TestFig18(t *testing.T) {
+	r, err := Fig18(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.Rows() != 5 {
+		t.Fatalf("Fig18 has %d rows", r.Table.Rows())
+	}
+}
+
+func TestFig19(t *testing.T) {
+	r, err := Fig19(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.Rows() != 8 {
+		t.Fatalf("Fig19 has %d rows (want v1..v8)", r.Table.Rows())
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "final error") {
+		t.Errorf("Fig19 notes missing the final-error summary: %v", r.Notes)
+	}
+}
+
+func TestMPOptScaling(t *testing.T) {
+	o := mpOpt(core.RunOptions{Insts: 400_000})
+	if o.Insts != 100_000 || o.Warmup != 20_000 {
+		t.Fatalf("mpOpt = %+v", o)
+	}
+	o = mpOpt(core.RunOptions{Insts: 40_000})
+	if o.Insts != 30_000 {
+		t.Fatalf("mpOpt floor = %+v", o)
+	}
+	o = mpOpt(core.RunOptions{})
+	if o.Insts != 100_000 {
+		t.Fatalf("mpOpt default = %+v", o)
+	}
+}
+
+func TestHPCStudy(t *testing.T) {
+	r, err := HPCStudy(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.Rows() != 5 {
+		t.Fatalf("rows: %d", r.Table.Rows())
+	}
+}
+
+func TestModelSpeed(t *testing.T) {
+	r := ModelSpeed()
+	if r.Table.Rows() != 2 {
+		t.Fatalf("rows: %d", r.Table.Rows())
+	}
+}

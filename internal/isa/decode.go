@@ -1,0 +1,306 @@
+package isa
+
+// SPARC-V9 instruction-word decoding.
+//
+// The performance model itself is trace-driven and class-based, but trace
+// *ingestion* from raw captures (program counter + 32-bit instruction word
+// + effective address, the shape a Shade-style tracer emits) needs a real
+// decoder. This file decodes the SPARC-V9 formats and the opcodes that
+// matter to the timing model; anything exotic degrades to Special (which is
+// also how the performance model treats serializing instructions).
+//
+// SPARC-V9 instruction formats (op = bits 31:30):
+//
+//	op=1  format 1: CALL, 30-bit word displacement
+//	op=0  format 2: SETHI, Bicc/BPcc/FBfcc/BPr (op2 = bits 24:22)
+//	op=2  format 3: arithmetic/logical/shift, JMPL, SAVE/RESTORE, FPops
+//	op=3  format 3: loads, stores, atomics, prefetch
+
+// Decoded is the outcome of decoding one instruction word.
+type Decoded struct {
+	// Class is the timing class the word maps to.
+	Class Class
+	// Rd, Rs1, Rs2 are architectural register numbers in the model's flat
+	// space (integer [0,32), FP [32,64)), or RegNone.
+	Rd, Rs1, Rs2 uint8
+	// Imm reports an immediate second operand (Rs2 absent).
+	Imm bool
+	// Disp is the sign-extended branch/call displacement in bytes
+	// (control transfers only).
+	Disp int64
+	// Annul is the branch annul bit (fetch-group shaping; informational).
+	Annul bool
+	// CondAlways marks BA/BN-style unconditional branches.
+	CondAlways bool
+}
+
+// Opcode field constants.
+const (
+	op2SETHI   = 4
+	op2Bicc    = 2
+	op2BPcc    = 1
+	op2BPr     = 3
+	op2FBfcc   = 6
+	op2FBPfcc  = 5
+	op2ILLTRAP = 0
+)
+
+// op3 values for op=2 (arithmetic).
+const (
+	op3ADD     = 0x00
+	op3AND     = 0x01
+	op3OR      = 0x02
+	op3XOR     = 0x03
+	op3SUB     = 0x04
+	op3ANDN    = 0x05
+	op3ORN     = 0x06
+	op3XNOR    = 0x07
+	op3ADDC    = 0x08
+	op3MULX    = 0x09
+	op3UMUL    = 0x0a
+	op3SMUL    = 0x0b
+	op3SUBC    = 0x0c
+	op3UDIVX   = 0x0d
+	op3UDIV    = 0x0e
+	op3SDIV    = 0x0f
+	op3ADDcc   = 0x10
+	op3ANDcc   = 0x11
+	op3ORcc    = 0x12
+	op3XORcc   = 0x13
+	op3SUBcc   = 0x14
+	op3SLL     = 0x25
+	op3SRL     = 0x26
+	op3SRA     = 0x27
+	op3SDIVX   = 0x2d
+	op3FPop1   = 0x34
+	op3FPop2   = 0x35
+	op3JMPL    = 0x38
+	op3RETURN  = 0x39
+	op3Ticc    = 0x3a
+	op3FLUSH   = 0x3b
+	op3SAVE    = 0x3c
+	op3RESTORE = 0x3d
+	op3DONE    = 0x3e
+)
+
+// op3 values for op=3 (memory).
+const (
+	op3LDUW     = 0x00
+	op3LDUB     = 0x01
+	op3LDUH     = 0x02
+	op3LDD      = 0x03
+	op3STW      = 0x04
+	op3STB      = 0x05
+	op3STH      = 0x06
+	op3STD      = 0x07
+	op3LDSW     = 0x08
+	op3LDSB     = 0x09
+	op3LDSH     = 0x0a
+	op3LDX      = 0x0b
+	op3STX      = 0x0e
+	op3LDSTUB   = 0x0d
+	op3SWAP     = 0x0f
+	op3CASA     = 0x3c
+	op3CASXA    = 0x3e
+	op3LDF      = 0x20
+	op3LDDF     = 0x23
+	op3STF      = 0x24
+	op3STDF     = 0x27
+	op3PREFETCH = 0x2d
+)
+
+// Decode classifies a SPARC-V9 instruction word. It never fails: unknown
+// encodings decode as Special (serializing), matching the model's
+// conservative handling.
+func Decode(word uint32) Decoded {
+	op := word >> 30
+	switch op {
+	case 1: // CALL
+		disp := int64(int32(word << 2)) // disp30 * 4, sign-extended
+		return Decoded{Class: Call, Rd: 15, Rs1: RegNone, Rs2: RegNone,
+			Disp: disp, CondAlways: true}
+	case 0:
+		return decodeFormat2(word)
+	case 2:
+		return decodeArith(word)
+	default: // 3
+		return decodeMemory(word)
+	}
+}
+
+func decodeFormat2(word uint32) Decoded {
+	op2 := (word >> 22) & 7
+	switch op2 {
+	case op2SETHI:
+		rd := uint8((word >> 25) & 31)
+		if rd == 0 && word&0x3fffff == 0 {
+			return Decoded{Class: Nop, Rd: RegNone, Rs1: RegNone, Rs2: RegNone}
+		}
+		return Decoded{Class: IntALU, Rd: rd, Rs1: RegNone, Rs2: RegNone, Imm: true}
+	case op2Bicc, op2BPcc:
+		cond := (word >> 25) & 15
+		d := Decoded{Class: Branch, Rd: RegNone, Rs1: RegNone, Rs2: RegNone,
+			Annul: word&(1<<29) != 0}
+		if op2 == op2Bicc {
+			d.Disp = signExtend(int64(word&0x3fffff), 22) * 4
+		} else {
+			d.Disp = signExtend(int64(word&0x7ffff), 19) * 4
+		}
+		if cond == 8 || cond == 0 { // BA / BN
+			d.CondAlways = true
+		}
+		return d
+	case op2FBfcc, op2FBPfcc:
+		d := Decoded{Class: Branch, Rd: RegNone, Rs1: RegNone, Rs2: RegNone,
+			Annul: word&(1<<29) != 0}
+		if op2 == op2FBfcc {
+			d.Disp = signExtend(int64(word&0x3fffff), 22) * 4
+		} else {
+			d.Disp = signExtend(int64(word&0x7ffff), 19) * 4
+		}
+		return d
+	case op2BPr:
+		return Decoded{Class: Branch, Rd: RegNone,
+			Rs1: uint8((word >> 14) & 31), Rs2: RegNone,
+			Disp:  signExtend(int64((word>>6)&0x3fff|(word>>20)&0xc000), 16) * 4,
+			Annul: word&(1<<29) != 0}
+	default: // ILLTRAP and friends
+		return Decoded{Class: Special, Rd: RegNone, Rs1: RegNone, Rs2: RegNone}
+	}
+}
+
+func decodeArith(word uint32) Decoded {
+	op3 := (word >> 19) & 0x3f
+	rd := uint8((word >> 25) & 31)
+	rs1 := uint8((word >> 14) & 31)
+	imm := word&(1<<13) != 0
+	rs2 := uint8(word & 31)
+	d := Decoded{Rd: rd, Rs1: rs1, Imm: imm}
+	if imm {
+		d.Rs2 = RegNone
+	} else {
+		d.Rs2 = rs2
+	}
+	switch op3 {
+	case op3ADD, op3AND, op3OR, op3XOR, op3SUB, op3ANDN, op3ORN, op3XNOR,
+		op3ADDC, op3SUBC, op3ADDcc, op3ANDcc, op3ORcc, op3XORcc, op3SUBcc,
+		op3SLL, op3SRL, op3SRA:
+		d.Class = IntALU
+	case op3MULX, op3UMUL, op3SMUL:
+		d.Class = IntMul
+	case op3UDIVX, op3UDIV, op3SDIV, op3SDIVX:
+		d.Class = IntDiv
+	case op3JMPL:
+		// JMPL with rd=%o7 is a call; with rs1=%i7/%o7 and rd=%g0 a return.
+		switch {
+		case rd == 15:
+			d.Class = Call
+		case rd == 0 && (rs1 == 31 || rs1 == 15):
+			d.Class = Return
+		default:
+			d.Class = Branch // indirect jump
+		}
+	case op3RETURN:
+		d.Class = Return
+	case op3SAVE, op3RESTORE, op3Ticc, op3FLUSH, op3DONE:
+		d.Class = Special
+	case op3FPop1:
+		d = decodeFPop(word, d)
+	case op3FPop2:
+		// FP compares and conditional moves.
+		d.Class = FPAdd
+		d.Rd, d.Rs1 = RegNone, fpReg(rs1)
+		if !imm {
+			d.Rs2 = fpReg(rs2)
+		}
+	default:
+		d.Class = Special
+	}
+	return d
+}
+
+// fpReg maps a 5-bit FP register field into the model's flat space.
+func fpReg(r uint8) uint8 { return FPRegBase + (r & 31) }
+
+func decodeFPop(word uint32, d Decoded) Decoded {
+	opf := (word >> 5) & 0x1ff
+	d.Rd = fpReg(uint8((word >> 25) & 31))
+	d.Rs1 = fpReg(uint8((word >> 14) & 31))
+	d.Rs2 = fpReg(uint8(word & 31))
+	d.Imm = false
+	switch opf {
+	case 0x41, 0x42, 0x43, 0x45, 0x46, 0x47: // FADD/FSUB s/d/q
+		d.Class = FPAdd
+	case 0x49, 0x4a, 0x4b, 0x69, 0x6e: // FMUL s/d/q, FsMULd, FdMULq
+		d.Class = FPMul
+	case 0x4d, 0x4e, 0x4f: // FDIV s/d/q
+		d.Class = FPDiv
+	case 0x29, 0x2a, 0x2b: // FSQRT s/d/q
+		d.Class = FPDiv
+	default:
+		// Converts, moves, abs/neg: single-pass FP work.
+		d.Class = FPAdd
+	}
+	return d
+}
+
+func decodeMemory(word uint32) Decoded {
+	op3 := (word >> 19) & 0x3f
+	rd := uint8((word >> 25) & 31)
+	rs1 := uint8((word >> 14) & 31)
+	imm := word&(1<<13) != 0
+	rs2 := uint8(word & 31)
+	d := Decoded{Rd: rd, Rs1: rs1, Imm: imm}
+	if imm {
+		d.Rs2 = RegNone
+	} else {
+		d.Rs2 = rs2
+	}
+	switch op3 {
+	case op3LDUW, op3LDUB, op3LDUH, op3LDD, op3LDSW, op3LDSB, op3LDSH, op3LDX:
+		d.Class = Load
+	case op3STW, op3STB, op3STH, op3STD, op3STX:
+		d.Class = Store
+		// Stores read rd as data; the model records it as a source.
+		d.Rs2, d.Rd = d.Rd, RegNone
+		_ = rs2
+	case op3LDF, op3LDDF:
+		d.Class = Load
+		d.Rd = fpReg(rd)
+	case op3STF, op3STDF:
+		d.Class = Store
+		d.Rs2, d.Rd = fpReg(rd), RegNone
+	case op3PREFETCH:
+		d.Class = Load
+		d.Rd = RegNone
+	case op3LDSTUB, op3SWAP, op3CASA, op3CASXA:
+		d.Class = Special // atomics serialize in the model
+	default:
+		d.Class = Special
+	}
+	return d
+}
+
+// AccessBytes returns the memory access size for a memory-class word
+// (0 for non-memory classes).
+func AccessBytes(word uint32) uint8 {
+	if word>>30 != 3 {
+		return 0
+	}
+	switch (word >> 19) & 0x3f {
+	case op3LDUB, op3LDSB, op3STB, op3LDSTUB:
+		return 1
+	case op3LDUH, op3LDSH, op3STH:
+		return 2
+	case op3LDUW, op3LDSW, op3STW, op3SWAP, op3LDF, op3STF, op3CASA:
+		return 4
+	case op3LDX, op3STX, op3LDD, op3STD, op3LDDF, op3STDF, op3CASXA, op3PREFETCH:
+		return 8
+	}
+	return 8
+}
+
+func signExtend(v int64, bits uint) int64 {
+	shift := 64 - bits
+	return v << shift >> shift
+}

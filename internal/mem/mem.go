@@ -1,0 +1,203 @@
+// Package mem models the system bus and main memory of the performance
+// model with timestamped resources: every shared resource keeps a
+// next-free cycle, so a request's service time is computed at issue from
+// latency plus queuing delay. This is how the model captures the paper's
+// "request queue, bus conflict, bandwidth, and latency" without a global
+// event queue.
+package mem
+
+import "sparc64v/internal/config"
+
+// Resource is a serially occupied resource (a bus slot, a DRAM bank).
+type Resource struct {
+	nextFree uint64
+	// BusyCycles accumulates total occupancy (utilization reporting).
+	BusyCycles uint64
+	// WaitCycles accumulates queuing delay experienced by requesters.
+	WaitCycles uint64
+	// MaxWait and BigWaits record pathological queueing (diagnostics).
+	MaxWait, BigWaits uint64
+}
+
+// Acquire occupies the resource for busy cycles starting no earlier than
+// cycle; it returns the actual start time (>= cycle). When contend is
+// false the resource is treated as infinitely wide (no queuing), which
+// implements the low-fidelity model versions.
+func (r *Resource) Acquire(cycle, busy uint64, contend bool) uint64 {
+	if !contend {
+		r.BusyCycles += busy
+		return cycle
+	}
+	start := cycle
+	if r.nextFree > start {
+		w := r.nextFree - start
+		r.WaitCycles += w
+		if w > r.MaxWait {
+			r.MaxWait = w
+		}
+		if w > 100 {
+			r.BigWaits++
+		}
+		start = r.nextFree
+	}
+	r.nextFree = start + busy
+	r.BusyCycles += busy
+	return start
+}
+
+// NextFree returns the cycle at which the resource becomes available.
+func (r *Resource) NextFree() uint64 { return r.nextFree }
+
+// channelBytes is the width of one data channel; the configured bus
+// bandwidth is provided by BusBytesPerCycle/channelBytes parallel channels
+// (a crossbar-style data network, which is what enterprise SPARC systems
+// of this class shipped).
+const channelBytes = 8
+
+// Bus is the system interconnect connecting processor chips and memory: an
+// address/snoop network plus a multi-channel data network.
+type Bus struct {
+	req     []Resource
+	data    []Resource
+	reqBusy uint64
+	contend bool
+	// Stats
+	Requests  uint64
+	DataMoves uint64
+}
+
+// NewBus builds the bus from the memory parameters.
+func NewBus(p config.MemParams, contend bool) *Bus {
+	bpc := p.BusBytesPerCycle
+	if bpc <= 0 {
+		bpc = 8
+	}
+	nchan := bpc / channelBytes
+	if nchan < 1 {
+		nchan = 1
+	}
+	rb := uint64(p.BusRequestCycles)
+	if rb == 0 {
+		rb = 1
+	}
+	nreq := 2
+	return &Bus{
+		req:     make([]Resource, nreq),
+		data:    make([]Resource, nchan),
+		reqBusy: rb,
+		contend: contend,
+	}
+}
+
+// pick selects the least-loaded resource of a group.
+func pick(rs []Resource) *Resource {
+	best := &rs[0]
+	for i := 1; i < len(rs); i++ {
+		if rs[i].nextFree < best.nextFree {
+			best = &rs[i]
+		}
+	}
+	return best
+}
+
+// Request arbitrates for the address/snoop network at cycle; the returned
+// cycle is when the request has been broadcast.
+func (b *Bus) Request(cycle uint64) uint64 {
+	b.Requests++
+	start := pick(b.req).Acquire(cycle, b.reqBusy, b.contend)
+	return start + b.reqBusy
+}
+
+// Transfer moves bytes over one data channel starting no earlier than
+// cycle; the returned cycle is when the last byte arrives.
+func (b *Bus) Transfer(cycle, bytes uint64) uint64 {
+	b.DataMoves++
+	busy := (bytes + channelBytes - 1) / channelBytes
+	if busy == 0 {
+		busy = 1
+	}
+	start := pick(b.data).Acquire(cycle, busy, b.contend)
+	return start + busy
+}
+
+// Utilization returns (request, data) busy cycles for reporting.
+func (b *Bus) Utilization() (reqBusy, dataBusy uint64) {
+	for i := range b.req {
+		reqBusy += b.req[i].BusyCycles
+	}
+	for i := range b.data {
+		dataBusy += b.data[i].BusyCycles
+	}
+	return reqBusy, dataBusy
+}
+
+// WaitCycles returns total queuing delay on both networks.
+func (b *Bus) WaitCycles() uint64 {
+	var w uint64
+	for i := range b.req {
+		w += b.req[i].WaitCycles
+	}
+	for i := range b.data {
+		w += b.data[i].WaitCycles
+	}
+	return w
+}
+
+// DRAM is main memory: interleaved banks with a fixed access latency and a
+// per-access bank busy time (cycle time).
+type DRAM struct {
+	banks    []Resource
+	bankMask uint64
+	latency  uint64
+	bankBusy uint64
+	contend  bool
+	// Stats
+	Accesses uint64
+}
+
+// NewDRAM builds memory from the parameters.
+func NewDRAM(p config.MemParams, contend bool) *DRAM {
+	n := p.DRAMBanks
+	if n < 1 {
+		n = 1
+	}
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	lat := uint64(p.DRAMCycles)
+	if lat == 0 {
+		lat = 200
+	}
+	busy := uint64(p.DRAMBankBusy)
+	if busy == 0 {
+		busy = 16
+	}
+	return &DRAM{
+		banks:    make([]Resource, n),
+		bankMask: uint64(n - 1),
+		latency:  lat,
+		bankBusy: busy,
+		contend:  contend,
+	}
+}
+
+// Access reads or writes the line at lineAddr starting no earlier than
+// cycle; the returned cycle is when data is available at the memory pins.
+func (d *DRAM) Access(cycle, lineAddr uint64) uint64 {
+	d.Accesses++
+	bank := &d.banks[lineAddr&d.bankMask]
+	start := bank.Acquire(cycle, d.bankBusy, d.contend)
+	return start + d.latency
+}
+
+// Latency returns the configured access latency.
+func (d *DRAM) Latency() uint64 { return d.latency }
+
+// WaitCycles returns total bank queuing delay.
+func (d *DRAM) WaitCycles() uint64 {
+	var w uint64
+	for i := range d.banks {
+		w += d.banks[i].WaitCycles
+	}
+	return w
+}

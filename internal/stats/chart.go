@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal ASCII bar chart: one row per label, bar length
+// proportional to |value|, negative values marked. It is how the sweep
+// tool renders the paper's bar-graph figures in a terminal.
+//
+//	SPECint95    |###################          |  -17.2
+func Bars(title string, labels []string, values []float64, unit string) string {
+	if len(labels) != len(values) {
+		panic("stats: labels/values length mismatch")
+	}
+	const width = 40
+	maxAbs := MaxAbs(values)
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for i, l := range labels {
+		n := int(math.Round(math.Abs(values[i]) / maxAbs * width))
+		bar := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		sign := ""
+		if values[i] < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&sb, "%-*s |%s| %s%.3g%s\n", labelW, l, bar, sign,
+			math.Abs(values[i]), unit)
+	}
+	return sb.String()
+}
+
+// StackedBars renders one 100%-stacked bar per label, split into the given
+// series shares (values per label should sum to ~1). Each series uses its
+// rune from chars. This is the shape of the paper's Figure 7.
+//
+//	TPC-C  [ccccbbbbiiiissssssssssssssssssss]
+func StackedBars(title string, labels []string, shares [][]float64, legend []string, chars []rune) string {
+	const width = 48
+	if len(labels) != len(shares) {
+		panic("stats: labels/shares length mismatch")
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for i, l := range labels {
+		var bar []rune
+		for s, share := range shares[i] {
+			n := int(math.Round(share * width))
+			ch := '?'
+			if s < len(chars) {
+				ch = chars[s]
+			}
+			for k := 0; k < n && len(bar) < width; k++ {
+				bar = append(bar, ch)
+			}
+		}
+		for len(bar) < width {
+			bar = append(bar, ' ')
+		}
+		fmt.Fprintf(&sb, "%-*s [%s]\n", labelW, l, string(bar))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "%*s  ", labelW, "")
+		parts := make([]string, 0, len(legend))
+		for s, name := range legend {
+			ch := '?'
+			if s < len(chars) {
+				ch = chars[s]
+			}
+			parts = append(parts, fmt.Sprintf("%c=%s", ch, name))
+		}
+		sb.WriteString(strings.Join(parts, " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	s := Bars("Demo", []string{"a", "bb"}, []float64{10, -5}, "%")
+	if !strings.Contains(s, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The larger magnitude has the longer bar.
+	na := strings.Count(lines[1], "#")
+	nb := strings.Count(lines[2], "#")
+	if na <= nb {
+		t.Errorf("bar lengths %d vs %d not proportional", na, nb)
+	}
+	if !strings.Contains(lines[2], "-5") {
+		t.Errorf("negative value not rendered: %q", lines[2])
+	}
+	// All-zero input must not divide by zero.
+	if z := Bars("", []string{"x"}, []float64{0}, ""); !strings.Contains(z, "|") {
+		t.Error("zero bars malformed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Bars("", []string{"a"}, nil, "")
+}
+
+func TestStackedBars(t *testing.T) {
+	s := StackedBars("Breakdown",
+		[]string{"w1", "w2"},
+		[][]float64{{0.5, 0.25, 0.25}, {0.1, 0.1, 0.8}},
+		[]string{"core", "branch", "sx"},
+		[]rune{'c', 'b', 's'})
+	if !strings.Contains(s, "c=core") || !strings.Contains(s, "s=sx") {
+		t.Errorf("legend missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title, two bars, legend
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	// w1's core segment (~24 chars) dominates; w2's sx does.
+	if strings.Count(lines[1], "c") <= strings.Count(lines[2], "c") {
+		t.Error("share proportions wrong")
+	}
+	if strings.Count(lines[2], "s") <= strings.Count(lines[1], "s") {
+		t.Error("share proportions wrong for sx")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatch did not panic")
+		}
+	}()
+	StackedBars("", []string{"a"}, nil, nil, nil)
+}

@@ -1,0 +1,107 @@
+package system
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Summary is the flattened, serialization-friendly view of a Report: all
+// computed metrics materialized, suitable for downstream tooling
+// (spreadsheets, plotting, regression tracking).
+type Summary struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+
+	Cycles         uint64  `json:"cycles"`
+	Committed      uint64  `json:"instructions"`
+	IPC            float64 `json:"ipc"`
+	CPI            float64 `json:"cpi"`
+	L1IMissRate    float64 `json:"l1i_miss_rate"`
+	L1DMissRate    float64 `json:"l1d_miss_rate"`
+	L2DemandMiss   float64 `json:"l2_demand_miss_rate"`
+	L2TotalMiss    float64 `json:"l2_total_miss_rate"`
+	BranchFailRate float64 `json:"branch_failure_rate"`
+
+	BusWaitCycles  uint64 `json:"bus_wait_cycles"`
+	DRAMWaitCycles uint64 `json:"dram_wait_cycles"`
+	MemoryReads    uint64 `json:"memory_reads"`
+	CacheTransfers uint64 `json:"cache_to_cache_transfers"`
+	Invalidations  uint64 `json:"invalidations"`
+	Writebacks     uint64 `json:"writebacks"`
+
+	PerCPU []CPUSummary `json:"per_cpu,omitempty"`
+}
+
+// CPUSummary is the per-processor slice of a Summary.
+type CPUSummary struct {
+	IPC           float64 `json:"ipc"`
+	Committed     uint64  `json:"instructions"`
+	Cycles        uint64  `json:"cycles"`
+	SpecCancels   uint64  `json:"speculative_cancels"`
+	BankConflicts uint64  `json:"bank_conflicts"`
+	StallWindow   uint64  `json:"stall_window"`
+	StallRename   uint64  `json:"stall_rename"`
+	StallRS       uint64  `json:"stall_rs"`
+	StallLQ       uint64  `json:"stall_lq"`
+	StallSQ       uint64  `json:"stall_sq"`
+	ZeroFrontend  uint64  `json:"zero_commit_frontend"`
+	ZeroMemory    uint64  `json:"zero_commit_memory"`
+	ZeroExecute   uint64  `json:"zero_commit_execute"`
+	ZeroRS        uint64  `json:"zero_commit_rs"`
+	ITLBMissRate  float64 `json:"itlb_miss_rate"`
+	DTLBMissRate  float64 `json:"dtlb_miss_rate"`
+}
+
+// Summary flattens the report.
+func (r *Report) Summary() Summary {
+	s := Summary{
+		Config:         r.Name,
+		Workload:       r.Workload,
+		Cycles:         r.MeasuredCycles(),
+		Committed:      r.Committed,
+		IPC:            r.IPC(),
+		L1IMissRate:    r.L1IMissRate(),
+		L1DMissRate:    r.L1DMissRate(),
+		L2DemandMiss:   r.L2DemandMissRate(),
+		L2TotalMiss:    r.L2TotalMissRate(),
+		BranchFailRate: r.BranchFailureRate(),
+		BusWaitCycles:  r.BusWaitCycles,
+		DRAMWaitCycles: r.DRAMWaitCycles,
+		MemoryReads:    r.Coherence.MemoryReads,
+		CacheTransfers: r.Coherence.CacheTransfers,
+		Invalidations:  r.Coherence.Invalidations,
+		Writebacks:     r.Coherence.Writebacks,
+	}
+	if s.IPC > 0 {
+		s.CPI = 1 / s.IPC
+	}
+	for i := range r.CPUs {
+		c := &r.CPUs[i]
+		s.PerCPU = append(s.PerCPU, CPUSummary{
+			IPC:           c.IPC(),
+			Committed:     c.Core.Committed,
+			Cycles:        c.Core.Cycles,
+			SpecCancels:   c.Core.SpecCancels,
+			BankConflicts: c.Core.BankConflicts,
+			StallWindow:   c.Core.StallWindow,
+			StallRename:   c.Core.StallRename,
+			StallRS:       c.Core.StallRS,
+			StallLQ:       c.Core.StallLQ,
+			StallSQ:       c.Core.StallSQ,
+			ZeroFrontend:  c.Core.ZeroCommitFrontend,
+			ZeroMemory:    c.Core.ZeroCommitMemory,
+			ZeroExecute:   c.Core.ZeroCommitExecute,
+			ZeroRS:        c.Core.ZeroCommitRS,
+			ITLBMissRate:  c.ITLBMissRate,
+			DTLBMissRate:  c.DTLBMissRate,
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparc64v/internal/isa"
+)
+
+// A tiny hand-assembled capture: add; ldx; bne (taken); add at target.
+const rawCapture = `
+# pc        word       ea
+0x1000 0x94022009            # add %o0, 9, %o2  (f3: op=2 rd=10 op3=0 rs1=8 imm)
+0x1004 0xd25a2008 0x7feff0   # ldx [%o0+8], %o1
+0x1008 0x32800004            # bne,a +4 words (taken: next pc != 0x100c)
+0x1018 0x94022001            # add at branch target
+`
+
+func TestParseRaw(t *testing.T) {
+	entries, err := ParseRaw(strings.NewReader(rawCapture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries", len(entries))
+	}
+	if entries[1].EA != 0x7feff0 {
+		t.Fatalf("EA = %#x", entries[1].EA)
+	}
+	// Malformed lines fail with position info.
+	for _, bad := range []string{"0x10", "zz 0x94022009", "0x10 zz", "0x10 0x1 0x2 0x3"} {
+		if _, err := ParseRaw(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseRaw accepted %q", bad)
+		}
+	}
+}
+
+func TestConvertRaw(t *testing.T) {
+	entries, err := ParseRaw(strings.NewReader(rawCapture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ConvertRaw(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Op != isa.IntALU || recs[0].Dst != 10 || recs[0].Src1 != 8 {
+		t.Fatalf("add converted to %+v", recs[0])
+	}
+	if recs[1].Op != isa.Load || recs[1].EA != 0x7feff0 || recs[1].Size != 8 {
+		t.Fatalf("ldx converted to %+v", recs[1])
+	}
+	if recs[2].Op != isa.Branch || !recs[2].Taken || recs[2].EA != 0x1018 {
+		t.Fatalf("bne converted to %+v (taken inferred from control flow)", recs[2])
+	}
+	// The converted stream must be control-flow consistent.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].PC != recs[i-1].NextPC() {
+			t.Fatalf("record %d breaks control flow", i)
+		}
+	}
+}
+
+func TestIngestRawRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := IngestRaw(strings.NewReader(rawCapture), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("ingested %d", n)
+	}
+	w.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(rd, 0)
+	if len(got) != 4 || got[2].Op != isa.Branch || !got[2].Taken {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+// A not-taken conditional (next PC sequential) converts as not taken.
+func TestConvertRawNotTaken(t *testing.T) {
+	capture := "0x1000 0x32800004\n0x1004 0x94022009\n"
+	entries, _ := ParseRaw(strings.NewReader(capture))
+	recs, err := ConvertRaw(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Taken {
+		t.Fatalf("sequential successor converted as taken: %+v", recs[0])
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+// Sampling utilities.
+//
+// The paper samples long TPC-C traces ("we followed TPC guidelines during
+// system setup ... and sampled these traces"). SampleSource implements the
+// standard skip/measure periodic sampling used for such traces: out of
+// every Period records it passes through the first Keep and drops the rest.
+
+// SampleSource periodically subsamples an underlying Source.
+type SampleSource struct {
+	src    Source
+	keep   int
+	period int
+	pos    int
+}
+
+// NewSampleSource returns a Source that keeps the first keep records of
+// every period records from src. keep must be in (0, period].
+func NewSampleSource(src Source, keep, period int) *SampleSource {
+	if keep <= 0 || period <= 0 || keep > period {
+		panic("trace: invalid sampling parameters")
+	}
+	return &SampleSource{src: src, keep: keep, period: period}
+}
+
+// Next implements Source.
+func (s *SampleSource) Next(r *Record) bool {
+	for {
+		if !s.src.Next(r) {
+			return false
+		}
+		inWindow := s.pos < s.keep
+		s.pos++
+		if s.pos == s.period {
+			s.pos = 0
+		}
+		if inWindow {
+			return true
+		}
+	}
+}
+
+// SkipSource discards the first n records of src (e.g. to skip past warmup
+// into the steady state, mirroring "we wait until it reaches a steady
+// state, and then start trace").
+type SkipSource struct {
+	src     Source
+	skip    int
+	skipped bool
+}
+
+// NewSkipSource returns a Source skipping the first n records of src.
+func NewSkipSource(src Source, n int) *SkipSource { return &SkipSource{src: src, skip: n} }
+
+// Next implements Source.
+func (s *SkipSource) Next(r *Record) bool {
+	if !s.skipped {
+		for i := 0; i < s.skip; i++ {
+			if !s.src.Next(r) {
+				return false
+			}
+		}
+		s.skipped = true
+	}
+	return s.src.Next(r)
+}
+
+// ConcatSource replays a sequence of sources back to back.
+type ConcatSource struct {
+	srcs []Source
+}
+
+// NewConcatSource returns a Source yielding all records of each source in
+// order.
+func NewConcatSource(srcs ...Source) *ConcatSource { return &ConcatSource{srcs: srcs} }
+
+// Next implements Source.
+func (c *ConcatSource) Next(r *Record) bool {
+	for len(c.srcs) > 0 {
+		if c.srcs[0].Next(r) {
+			return true
+		}
+		c.srcs = c.srcs[1:]
+	}
+	return false
+}

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sparc64v/internal/isa"
+)
+
+func randRecord(rng *rand.Rand) Record {
+	classes := []isa.Class{isa.IntALU, isa.IntMul, isa.Load, isa.Store,
+		isa.FPAdd, isa.FPMulAdd, isa.Branch, isa.Call, isa.Return, isa.Special, isa.Nop}
+	r := Record{
+		PC:   uint64(rng.Int63n(1<<40)) &^ 3,
+		Op:   classes[rng.Intn(len(classes))],
+		Dst:  isa.RegNone,
+		Src1: isa.RegNone,
+		Src2: isa.RegNone,
+	}
+	if rng.Intn(2) == 0 {
+		r.Dst = uint8(rng.Intn(isa.NumRegs))
+	}
+	if rng.Intn(2) == 0 {
+		r.Src1 = uint8(rng.Intn(isa.NumRegs))
+	}
+	if rng.Intn(3) == 0 {
+		r.Src2 = uint8(rng.Intn(isa.NumRegs))
+	}
+	if r.Op.IsMemory() {
+		r.EA = uint64(rng.Int63n(1 << 40))
+		r.Size = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+	}
+	if r.Op.IsBranch() {
+		r.Taken = rng.Intn(2) == 0
+		if r.Taken {
+			r.EA = uint64(rng.Int63n(1<<40)) &^ 3
+		}
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]Record, 5000)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatalf("Write(%d): %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	for i := range recs {
+		if !rd.Next(&got) {
+			t.Fatalf("Next returned false at %d (err=%v)", i, rd.Err())
+		}
+		want := recs[i]
+		// EA of a not-taken branch is not encoded; normalize.
+		if want.Op.IsBranch() && !want.Taken {
+			want.EA = 0
+		}
+		if got != want {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if rd.Next(&got) {
+		t.Fatal("Next returned true past end")
+	}
+	if rd.Err() != nil {
+		t.Fatalf("Err = %v", rd.Err())
+	}
+}
+
+// Property: the round trip preserves every field the format defines, for
+// arbitrary generated records.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%64 + 1
+		recs := make([]Record, count)
+		for i := range recs {
+			recs[i] = randRecord(rng)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range recs {
+			if w.Write(&recs[i]) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got Record
+		for i := range recs {
+			if !rd.Next(&got) {
+				return false
+			}
+			want := recs[i]
+			if want.Op.IsBranch() && !want.Taken {
+				want.EA = 0
+			}
+			if got != want {
+				return false
+			}
+		}
+		return !rd.Next(&got) && rd.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("NOTATRACEFILE"))
+	if err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	r := Record{PC: 0x1000, Op: isa.Load, EA: 0x2000, Size: 8,
+		Dst: 1, Src1: 2, Src2: isa.RegNone}
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	// Chop the stream anywhere inside the record body: Next must fail
+	// cleanly with a non-nil Err, never panic.
+	for cut := len(Magic) + 2; cut < len(full); cut++ {
+		rd, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: NewReader: %v", cut, err)
+		}
+		var got Record
+		if rd.Next(&got) {
+			continue // record happened to be complete
+		}
+		if rd.Err() == nil {
+			t.Fatalf("cut=%d: truncation not reported", cut)
+		}
+	}
+}
+
+func TestWriteInvalidRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	bad := Record{Op: isa.Load, Size: 3, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("Write accepted invalid size")
+	}
+	bad = Record{Op: isa.Class(99), Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("Write accepted invalid class")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := []Record{
+		{PC: 0, Op: isa.IntALU, Dst: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+		{PC: 4, Op: isa.IntALU, Dst: 2, Src1: 1, Src2: isa.RegNone},
+	}
+	s := NewSliceSource(recs)
+	got := Collect(s, 0)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("Collect = %+v, want %+v", got, recs)
+	}
+	s.Reset()
+	if got := Collect(s, 1); len(got) != 1 || got[0] != recs[0] {
+		t.Fatalf("Collect(max=1) = %+v", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLimitSource(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = Record{PC: uint64(i * 4), Op: isa.IntALU,
+			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	l := NewLimitSource(NewSliceSource(recs), 3)
+	if got := Collect(l, 0); len(got) != 3 {
+		t.Fatalf("limit 3 yielded %d records", len(got))
+	}
+	l = NewLimitSource(NewSliceSource(recs[:2]), 5)
+	if got := Collect(l, 0); len(got) != 2 {
+		t.Fatalf("short source yielded %d records", len(got))
+	}
+}
+
+func TestSampleSource(t *testing.T) {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{PC: uint64(i), Op: isa.IntALU,
+			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	s := NewSampleSource(NewSliceSource(recs), 2, 10)
+	got := Collect(s, 0)
+	if len(got) != 20 {
+		t.Fatalf("sampled %d records, want 20", len(got))
+	}
+	// Kept records must be the first 2 of each period of 10.
+	for i, r := range got {
+		period, off := i/2, i%2
+		if want := uint64(period*10 + off); r.PC != want {
+			t.Fatalf("sample %d: PC=%d, want %d", i, r.PC, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid sampling parameters did not panic")
+		}
+	}()
+	NewSampleSource(NewSliceSource(recs), 11, 10)
+}
+
+func TestSkipAndConcat(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = Record{PC: uint64(i), Op: isa.IntALU,
+			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	sk := NewSkipSource(NewSliceSource(recs), 7)
+	got := Collect(sk, 0)
+	if len(got) != 3 || got[0].PC != 7 {
+		t.Fatalf("skip: got %+v", got)
+	}
+	// Skipping past the end yields nothing.
+	sk = NewSkipSource(NewSliceSource(recs), 20)
+	if got := Collect(sk, 0); len(got) != 0 {
+		t.Fatalf("skip past end yielded %d", len(got))
+	}
+	cc := NewConcatSource(NewSliceSource(recs[:3]), NewSliceSource(recs[3:5]))
+	if got := Collect(cc, 0); len(got) != 5 || got[4].PC != 4 {
+		t.Fatalf("concat: got %+v", got)
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	r := Record{PC: 100, Op: isa.IntALU}
+	if r.NextPC() != 104 {
+		t.Errorf("sequential NextPC = %d", r.NextPC())
+	}
+	r = Record{PC: 100, Op: isa.Branch, Taken: true, EA: 400}
+	if r.NextPC() != 400 {
+		t.Errorf("taken branch NextPC = %d", r.NextPC())
+	}
+	r = Record{PC: 100, Op: isa.Branch, Taken: false, EA: 400}
+	if r.NextPC() != 104 {
+		t.Errorf("not-taken branch NextPC = %d", r.NextPC())
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	for _, r := range []Record{
+		{PC: 0x40, Op: isa.Load, EA: 0x1000, Size: 8, Dst: 3, Src1: 1, Src2: isa.RegNone},
+		{PC: 0x44, Op: isa.Branch, Taken: true, EA: 0x80},
+		{PC: 0x48, Op: isa.IntALU, Dst: 4, Src1: 3, Src2: 2},
+	} {
+		if s := r.String(); s == "" {
+			t.Errorf("empty String for %+v", r)
+		}
+	}
+}
+
+func TestOpenReaderGzip(t *testing.T) {
+	recs := []Record{
+		{PC: 0x1000, Op: isa.Load, EA: 0x2000, Size: 8, Dst: 1, Src1: 2, Src2: isa.RegNone},
+		{PC: 0x1004, Op: isa.IntALU, Dst: 3, Src1: 1, Src2: isa.RegNone},
+	}
+	var plain bytes.Buffer
+	w, _ := NewWriter(&plain)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	gz.Write(plain.Bytes())
+	gz.Close()
+
+	for name, buf := range map[string][]byte{"plain": plain.Bytes(), "gzip": zipped.Bytes()} {
+		rd, err := OpenReader(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := Collect(rd, 0)
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d records", name, len(got))
+		}
+		if rd.Err() != nil {
+			t.Fatalf("%s: %v", name, rd.Err())
+		}
+	}
+	// Corrupt gzip header fails cleanly.
+	if _, err := OpenReader(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00})); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package verif
+
+import (
+	"fmt"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/core"
+	"sparc64v/internal/stats"
+	"sparc64v/internal/trace"
+	"sparc64v/internal/workload"
+)
+
+// VersionPoint is one rung of the accuracy study: a model version's
+// performance estimate and its error against the reference.
+type VersionPoint struct {
+	// Name is the version label ("v1".."v8").
+	Name string
+	// Detail describes the fidelity added.
+	Detail string
+	// IPC is the version's performance estimate.
+	IPC float64
+	// RatioToFinal is IPC relative to v8 (the upper Figure 19 graph is
+	// plotted against v8's estimate).
+	RatioToFinal float64
+	// ErrorVsMachine is the signed relative error against the physical-
+	// machine proxy (the lower Figure 19 graph).
+	ErrorVsMachine float64
+}
+
+// AccuracyStudy is the Figure 19 reproduction for one workload.
+type AccuracyStudy struct {
+	// Workload names the trace.
+	Workload string
+	// MachineIPC is the physical-machine proxy's performance.
+	MachineIPC float64
+	// Points holds v1..v8.
+	Points []VersionPoint
+}
+
+// FinalError returns |error| of the final model (v8) against the machine.
+func (a *AccuracyStudy) FinalError() float64 {
+	if len(a.Points) == 0 {
+		return 0
+	}
+	e := a.Points[len(a.Points)-1].ErrorVsMachine
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// PhysicalMachineProxy derives the "physical machine" from the final
+// machine configuration: the same design with slightly different
+// electrical realities than any model version assumes (memory a touch
+// slower, one less cycle of L2 wave-pipelining margin). The paper could
+// only measure this once silicon arrived; we declare it here (see
+// DESIGN.md "Substitutions").
+func PhysicalMachineProxy(cfg config.Config) config.Config {
+	m := cfg
+	m.Name = cfg.Name + ".machine"
+	m.Mem.DRAMCycles += 8
+	m.Mem.L2.HitCycles++
+	return m
+}
+
+// RunAccuracyStudy runs every model version and the machine proxy on the
+// workload and assembles the Figure 19 series.
+func RunAccuracyStudy(base config.Config, p workload.Profile, opt core.RunOptions) (AccuracyStudy, error) {
+	study := AccuracyStudy{Workload: p.Name}
+	machine, err := core.NewModel(PhysicalMachineProxy(base))
+	if err != nil {
+		return study, err
+	}
+	mr, err := machine.Run(p, opt)
+	if err != nil {
+		return study, err
+	}
+	study.MachineIPC = mr.IPC()
+
+	versions := core.Versions()
+	ipcs := make([]float64, len(versions))
+	for i, v := range versions {
+		m, err := core.NewModel(v.Apply(base))
+		if err != nil {
+			return study, err
+		}
+		r, err := m.Run(p, opt)
+		if err != nil {
+			return study, fmt.Errorf("%s: %w", v.Name, err)
+		}
+		ipcs[i] = r.IPC()
+	}
+	final := ipcs[len(ipcs)-1]
+	for i, v := range versions {
+		study.Points = append(study.Points, VersionPoint{
+			Name:           v.Name,
+			Detail:         v.Detail,
+			IPC:            ipcs[i],
+			RatioToFinal:   ipcs[i] / final,
+			ErrorVsMachine: stats.PercentDelta(ipcs[i], study.MachineIPC) / 100,
+		})
+	}
+	return study, nil
+}
+
+// TrendCheck compares the direction of a design change between the
+// detailed model and the independent in-order reference model — the
+// methodology used to validate the initial performance model before any
+// RTL existed. It returns the two relative deltas (variant vs base); a
+// trend agreement means they share a sign.
+type TrendCheck struct {
+	// Change names the design change checked.
+	Change string
+	// ModelDelta and ReferenceDelta are relative performance deltas
+	// (positive = variant faster).
+	ModelDelta, ReferenceDelta float64
+}
+
+// Agree reports whether both models agree on the direction (deltas within
+// noise count as agreement).
+func (t *TrendCheck) Agree() bool {
+	const eps = 0.002
+	a, b := t.ModelDelta, t.ReferenceDelta
+	if a > -eps && a < eps || b > -eps && b < eps {
+		return true
+	}
+	return (a > 0) == (b > 0)
+}
+
+// RunTrendCheck evaluates base vs variant on both models.
+func RunTrendCheck(change string, base, variant config.Config, p workload.Profile,
+	opt core.RunOptions) (TrendCheck, error) {
+	tc := TrendCheck{Change: change}
+	run := func(cfg config.Config) (float64, error) {
+		m, err := core.NewModel(cfg)
+		if err != nil {
+			return 0, err
+		}
+		r, err := m.Run(p, opt)
+		if err != nil {
+			return 0, err
+		}
+		return r.IPC(), nil
+	}
+	b, err := run(base)
+	if err != nil {
+		return tc, err
+	}
+	v, err := run(variant)
+	if err != nil {
+		return tc, err
+	}
+	tc.ModelDelta = (v - b) / b
+
+	refRun := func(cfg config.Config) float64 {
+		rf := NewReference(cfg)
+		n := opt.Insts
+		if n <= 0 {
+			n = 200_000
+		}
+		rf.Run(trace.NewLimitSource(workload.New(p, opt.Seed, 0), n))
+		return 1 / rf.CPI()
+	}
+	rb := refRun(base)
+	rv := refRun(variant)
+	tc.ReferenceDelta = (rv - rb) / rb
+	return tc, nil
+}

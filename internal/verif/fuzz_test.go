@@ -1,0 +1,38 @@
+package verif
+
+import (
+	"bytes"
+	"testing"
+
+	"sparc64v/internal/trace"
+	"sparc64v/internal/workload"
+)
+
+// FuzzReadProgram feeds arbitrary bytes to the program decoder: it must
+// never panic, and any program it accepts must replay without panicking.
+func FuzzReadProgram(f *testing.F) {
+	recs := trace.Collect(trace.NewLimitSource(
+		workload.New(workload.SPECint95(), 1, 0), 500), 0)
+	prog, err := FromTrace(trace.NewSliceSource(recs))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := prog.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(programMagic))
+	f.Add([]byte("junk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProgram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		src := p.Replay()
+		var r trace.Record
+		for i := 0; src.Next(&r) && i < 5000; i++ {
+		}
+	})
+}

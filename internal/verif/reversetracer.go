@@ -1,0 +1,328 @@
+// Package verif reproduces the paper's verification methodology around the
+// performance model:
+//
+//   - ReverseTracer (paper reference [11]): converts an instruction trace
+//     into a compact, self-contained test program whose execution replays
+//     the trace exactly. The paper generated performance test programs this
+//     way and required that the logic simulator's execution of the program
+//     match the performance model's execution of the original trace; here
+//     the replayed program is bit-identical to the trace, so runs through
+//     the model are directly comparable.
+//   - An independent in-order reference model (the "verified mainframe
+//     model" role): a deliberately different, far simpler timing model used
+//     to check that design-study *trends* agree between two models.
+//   - The accuracy harness of Figure 19: model versions v1..v8 against the
+//     final model and against a "physical machine" proxy.
+package verif
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sparc64v/internal/isa"
+	"sparc64v/internal/trace"
+)
+
+// staticInstr is the per-PC static part of an instruction.
+type staticInstr struct {
+	op              isa.Class
+	dst, src1, src2 uint8
+	size            uint8
+	fallthroughNext uint64 // PC + 4
+}
+
+// Program is a reverse-traced test program: a static instruction image
+// plus the dynamic streams (branch outcomes, targets, effective addresses)
+// needed to replay the original trace exactly.
+type Program struct {
+	entry   uint64
+	static  map[uint64]staticInstr
+	takens  []byte      // bitstream of branch outcomes
+	targets []uint64    // taken-branch targets, in order
+	eas     []uint64    // memory effective addresses, in order
+	dyn     []dynFields // per-instance register assignment
+	count   int
+}
+
+// FromTrace builds a Program from a record stream. Records must be
+// control-flow consistent (each record's PC equals the previous record's
+// NextPC), which traces from the workload generators and the trace readers
+// guarantee; inconsistent streams are rejected.
+func FromTrace(src trace.Source) (*Program, error) {
+	p := &Program{static: make(map[uint64]staticInstr)}
+	var r trace.Record
+	var prev trace.Record
+	first := true
+	takenBits := 0
+	var curByte byte
+	for src.Next(&r) {
+		if first {
+			p.entry = r.PC
+		} else if want := prev.NextPC(); r.PC != want {
+			return nil, fmt.Errorf("verif: control-flow break at record %d: pc=%#x want %#x",
+				p.count, r.PC, want)
+		}
+		si := staticInstr{op: r.Op, dst: r.Dst, src1: r.Src1, src2: r.Src2,
+			size: r.Size, fallthroughNext: r.PC + isa.InstrBytes}
+		if old, ok := p.static[r.PC]; ok {
+			if old.op != si.op || old.dst != si.dst || old.src1 != si.src1 {
+				// Dynamic register/operand variation: keep the first static
+				// image and record the variation in the dynamic streams.
+				// Only the class must be stable for a valid program image.
+				if old.op != si.op {
+					return nil, fmt.Errorf("verif: PC %#x changes class %v->%v", r.PC, old.op, si.op)
+				}
+			}
+		} else {
+			p.static[r.PC] = si
+		}
+		if r.Op.IsBranch() {
+			if r.Taken {
+				curByte |= 1 << (takenBits % 8)
+				p.targets = append(p.targets, r.EA)
+			}
+			takenBits++
+			if takenBits%8 == 0 {
+				p.takens = append(p.takens, curByte)
+				curByte = 0
+			}
+		}
+		if r.Op.IsMemory() {
+			p.eas = append(p.eas, r.EA)
+		}
+		// Register IDs can vary per dynamic instance in synthetic traces;
+		// store them in the EA side-channel only when they differ from the
+		// static image. For exactness we record all dynamic fields below.
+		p.dyn = append(p.dyn, dynFields{dst: r.Dst, src1: r.Src1, src2: r.Src2, size: r.Size})
+		prev = r
+		first = false
+		p.count++
+	}
+	if takenBits%8 != 0 {
+		p.takens = append(p.takens, curByte)
+	}
+	return p, nil
+}
+
+// dynFields carries the per-instance register assignment (synthetic traces
+// re-assign rename-friendly registers dynamically; real traces would have
+// these static).
+type dynFields struct {
+	dst, src1, src2, size uint8
+}
+
+// Len returns the number of dynamic instructions the program replays.
+func (p *Program) Len() int { return p.count }
+
+// StaticInstrs returns the number of distinct instruction addresses.
+func (p *Program) StaticInstrs() int { return len(p.static) }
+
+// Replay returns a Source that regenerates the original trace exactly.
+func (p *Program) Replay() trace.Source {
+	return &replayer{p: p, pc: p.entry}
+}
+
+type replayer struct {
+	p        *Program
+	pc       uint64
+	idx      int
+	takenIdx int
+	tgtIdx   int
+	eaIdx    int
+}
+
+// Next implements trace.Source. A structurally corrupted program (dynamic
+// streams shorter than the instruction stream demands) terminates the
+// replay cleanly rather than panicking.
+func (rp *replayer) Next(r *trace.Record) bool {
+	if rp.idx >= rp.p.count || rp.idx >= len(rp.p.dyn) {
+		return false
+	}
+	si, ok := rp.p.static[rp.pc]
+	if !ok {
+		return false
+	}
+	d := rp.p.dyn[rp.idx]
+	*r = trace.Record{PC: rp.pc, Op: si.op, Dst: d.dst, Src1: d.src1, Src2: d.src2, Size: d.size}
+	if si.op.IsBranch() {
+		byteIdx, bit := rp.takenIdx/8, uint(rp.takenIdx%8)
+		if byteIdx >= len(rp.p.takens) {
+			return false
+		}
+		taken := rp.p.takens[byteIdx]&(1<<bit) != 0
+		rp.takenIdx++
+		r.Taken = taken
+		if taken {
+			if rp.tgtIdx >= len(rp.p.targets) {
+				return false
+			}
+			r.EA = rp.p.targets[rp.tgtIdx]
+			rp.tgtIdx++
+		}
+	}
+	if si.op.IsMemory() {
+		if rp.eaIdx >= len(rp.p.eas) {
+			return false
+		}
+		r.EA = rp.p.eas[rp.eaIdx]
+		rp.eaIdx++
+	}
+	if r.Validate() != nil {
+		return false
+	}
+	rp.pc = r.NextPC()
+	rp.idx++
+	return true
+}
+
+// programMagic identifies an encoded reverse-traced program.
+const programMagic = "S64VPRG1"
+
+// WriteTo serializes the program (the "performance test program" artifact
+// the paper ships to the logic simulator).
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(programMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	writeU(p.entry)
+	writeU(uint64(p.count))
+	writeU(uint64(len(p.static)))
+	for pc, si := range p.static {
+		writeU(pc)
+		buf.Write([]byte{byte(si.op), si.dst, si.src1, si.src2, si.size})
+	}
+	writeU(uint64(len(p.takens)))
+	buf.Write(p.takens)
+	writeU(uint64(len(p.targets)))
+	prev := uint64(0)
+	for _, t := range p.targets {
+		n := binary.PutVarint(tmp[:], int64(t-prev))
+		buf.Write(tmp[:n])
+		prev = t
+	}
+	writeU(uint64(len(p.eas)))
+	prev = 0
+	for _, ea := range p.eas {
+		n := binary.PutVarint(tmp[:], int64(ea-prev))
+		buf.Write(tmp[:n])
+		prev = ea
+	}
+	writeU(uint64(len(p.dyn)))
+	for _, d := range p.dyn {
+		buf.Write([]byte{d.dst, d.src1, d.src2, d.size})
+	}
+	return buf.WriteTo(w)
+}
+
+// ReadProgram deserializes a program written by WriteTo.
+func ReadProgram(r io.Reader) (*Program, error) {
+	br := newByteReader(r)
+	hdr := make([]byte, len(programMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != programMagic {
+		return nil, errors.New("verif: bad program magic")
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	p := &Program{static: make(map[uint64]staticInstr)}
+	var err error
+	if p.entry, err = readU(); err != nil {
+		return nil, err
+	}
+	cnt, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	p.count = int(cnt)
+	nStatic, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	var b [5]byte
+	for i := uint64(0); i < nStatic; i++ {
+		pc, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		p.static[pc] = staticInstr{op: isa.Class(b[0]), dst: b[1], src1: b[2],
+			src2: b[3], size: b[4], fallthroughNext: pc + isa.InstrBytes}
+	}
+	nTak, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	p.takens = make([]byte, nTak)
+	if _, err := io.ReadFull(br, p.takens); err != nil {
+		return nil, err
+	}
+	nTgt, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nTgt; i++ {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(d)
+		p.targets = append(p.targets, prev)
+	}
+	nEA, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	prev = 0
+	for i := uint64(0); i < nEA; i++ {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(d)
+		p.eas = append(p.eas, prev)
+	}
+	nDyn, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	var db [4]byte
+	for i := uint64(0); i < nDyn; i++ {
+		if _, err := io.ReadFull(br, db[:]); err != nil {
+			return nil, err
+		}
+		p.dyn = append(p.dyn, dynFields{dst: db[0], src1: db[1], src2: db[2], size: db[3]})
+	}
+	return p, nil
+}
+
+type byteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader {
+	if br, ok := r.(*byteReader); ok {
+		return br
+	}
+	return &byteReader{r: r}
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}

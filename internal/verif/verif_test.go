@@ -1,0 +1,201 @@
+package verif
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/core"
+	"sparc64v/internal/trace"
+	"sparc64v/internal/workload"
+)
+
+func collect(p workload.Profile, seed int64, n int) []trace.Record {
+	return trace.Collect(trace.NewLimitSource(workload.New(p, seed, 0), n), 0)
+}
+
+func TestReverseTracerExactReplay(t *testing.T) {
+	for _, p := range []workload.Profile{workload.SPECint95(), workload.TPCC()} {
+		recs := collect(p, 3, 30000)
+		prog, err := FromTrace(trace.NewSliceSource(recs))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if prog.Len() != len(recs) {
+			t.Fatalf("%s: Len=%d want %d", p.Name, prog.Len(), len(recs))
+		}
+		got := trace.Collect(prog.Replay(), 0)
+		if len(got) != len(recs) {
+			t.Fatalf("%s: replay yielded %d records, want %d", p.Name, len(got), len(recs))
+		}
+		for i := range recs {
+			want := recs[i]
+			if want.Op.IsBranch() && !want.Taken {
+				want.EA = 0 // not-taken targets are not semantic
+			}
+			if got[i] != want {
+				t.Fatalf("%s: record %d differs:\n got %+v\nwant %+v", p.Name, i, got[i], want)
+			}
+		}
+		if prog.StaticInstrs() >= len(recs) {
+			t.Errorf("%s: program has no static compression (%d static for %d dynamic)",
+				p.Name, prog.StaticInstrs(), len(recs))
+		}
+	}
+}
+
+// Property: replay is exact for arbitrary seeds and window sizes.
+func TestReverseTracerQuick(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		count := int(n)%4000 + 100
+		recs := collect(workload.SPECint2000(), seed, count)
+		prog, err := FromTrace(trace.NewSliceSource(recs))
+		if err != nil {
+			return false
+		}
+		got := trace.Collect(prog.Replay(), 0)
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			want := recs[i]
+			if want.Op.IsBranch() && !want.Taken {
+				want.EA = 0
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseTracerRejectsBrokenFlow(t *testing.T) {
+	recs := collect(workload.SPECint95(), 1, 100)
+	recs[50].PC += 4 // break control flow
+	if _, err := FromTrace(trace.NewSliceSource(recs)); err == nil {
+		t.Fatal("broken control flow accepted")
+	}
+}
+
+func TestProgramSerialization(t *testing.T) {
+	recs := collect(workload.SPECfp95(), 9, 20000)
+	prog, err := FromTrace(trace.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := prog.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Collect(prog.Replay(), 0)
+	b := trace.Collect(back.Replay(), 0)
+	if len(a) != len(b) {
+		t.Fatalf("decoded program replays %d records, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs after round trip", i)
+		}
+	}
+	if _, err := ReadProgram(bytes.NewReader([]byte("junkjunk"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// The model must produce identical timing for the original trace and the
+// reverse-traced program — the paper's "detailed match" requirement
+// between the performance model and logic-simulator test programs.
+func TestModelTimingMatchesReplay(t *testing.T) {
+	recs := collect(workload.SPECint95(), 5, 40000)
+	prog, err := FromTrace(trace.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := core.NewModel(config.Base())
+	opt := core.RunOptions{Insts: len(recs), Warmup: 1}
+	r1, err := m.RunSources("orig", []trace.Source{trace.NewSliceSource(recs)}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.RunSources("replay", []trace.Source{prog.Replay()}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Committed != r2.Committed {
+		t.Fatalf("timing mismatch: %d/%d vs %d/%d cycles/instrs",
+			r1.Cycles, r1.Committed, r2.Cycles, r2.Committed)
+	}
+}
+
+func TestReferenceModelBasics(t *testing.T) {
+	rf := NewReference(config.Base())
+	rf.Run(trace.NewLimitSource(workload.New(workload.SPECint95(), 2, 0), 50000))
+	cpi := rf.CPI()
+	if cpi < 1 || cpi > 50 {
+		t.Fatalf("reference CPI = %.2f implausible", cpi)
+	}
+	if NewReference(config.Base()).CPI() != 0 {
+		t.Error("empty reference CPI != 0")
+	}
+}
+
+// The reference and detailed models must agree on the direction of the
+// paper's design changes (the initial-model validation methodology).
+func TestTrendAgreement(t *testing.T) {
+	base := config.Base()
+	opt := core.RunOptions{Insts: 80_000}
+	cases := []struct {
+		name    string
+		variant config.Config
+	}{
+		{"small L1", base.WithSmallL1()},
+		{"off-chip direct-mapped L2", base.WithOffChipL2(1)},
+	}
+	for _, c := range cases {
+		tc, err := RunTrendCheck(c.name, base, c.variant, workload.TPCC(), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !tc.Agree() {
+			t.Errorf("%s: models disagree: model %.4f vs reference %.4f",
+				c.name, tc.ModelDelta, tc.ReferenceDelta)
+		}
+	}
+}
+
+func TestAccuracyStudy(t *testing.T) {
+	study, err := RunAccuracyStudy(config.Base(), workload.SPECint2000(),
+		core.RunOptions{Insts: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Points) != 8 {
+		t.Fatalf("%d points", len(study.Points))
+	}
+	// v1 must overestimate performance relative to v8.
+	if study.Points[0].RatioToFinal < 1 {
+		t.Errorf("v1 ratio %.3f < 1", study.Points[0].RatioToFinal)
+	}
+	// v8's ratio is 1 by construction.
+	if r := study.Points[7].RatioToFinal; r < 0.999 || r > 1.001 {
+		t.Errorf("v8 ratio %.3f != 1", r)
+	}
+	// The final model must land within the paper's error budget (<5%)
+	// of the physical-machine proxy.
+	if study.FinalError() > 0.05 {
+		t.Errorf("final error %.3f exceeds 5%%", study.FinalError())
+	}
+	// The machine proxy differs from every early version.
+	if study.MachineIPC <= 0 {
+		t.Error("machine proxy IPC not positive")
+	}
+}
