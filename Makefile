@@ -1,0 +1,32 @@
+# Developer entry points. Everything is plain `go` underneath; the targets
+# just pin the flag combinations used by CI and by EXPERIMENTS.md.
+
+GO ?= go
+INSTS ?= 1000000
+
+.PHONY: build test race bench sweep accuracy clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduler's contract is that parallel fan-out never changes results;
+# the race target is how that claim is enforced.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Regenerates EXPERIMENTS.md at full trace length (stderr carries the
+# per-study wall times and effective sim-instrs/s summary).
+sweep:
+	$(GO) run ./cmd/sweep -insts $(INSTS) -markdown > EXPERIMENTS.md
+
+accuracy:
+	$(GO) run ./cmd/accuracy
+
+clean:
+	$(GO) clean ./...

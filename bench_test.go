@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"sparc64v/internal/core"
+	"sparc64v/internal/sched"
+	"sparc64v/internal/system"
 	"sparc64v/internal/trace"
 	"sparc64v/internal/workload"
 )
@@ -19,6 +21,7 @@ func benchOpt() RunOptions { return RunOptions{Insts: 60_000} }
 func workloadHPC() Profile { return workload.HPC() }
 
 func BenchmarkTable1Base(b *testing.B) {
+	b.ReportAllocs()
 	// The base-machine run behind Table 1's configuration: simulate the
 	// Table 1 machine on TPC-C and report simulated instructions/second —
 	// the modern counterpart of the paper's "7.8K instructions per second
@@ -42,6 +45,7 @@ func BenchmarkTable1Base(b *testing.B) {
 }
 
 func BenchmarkFig07Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	m, _ := NewModel(BaseConfig())
 	opt := benchOpt()
 	for i := 0; i < b.N; i++ {
@@ -52,6 +56,7 @@ func BenchmarkFig07Breakdown(b *testing.B) {
 }
 
 func BenchmarkFig08IssueWidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig08(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -60,6 +65,7 @@ func BenchmarkFig08IssueWidth(b *testing.B) {
 }
 
 func BenchmarkFig09BHT(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Fig09and10(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -68,6 +74,7 @@ func BenchmarkFig09BHT(b *testing.B) {
 }
 
 func BenchmarkFig11L1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := Fig11to13(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -76,6 +83,7 @@ func BenchmarkFig11L1(b *testing.B) {
 }
 
 func BenchmarkFig14L2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Fig14and15(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -84,6 +92,7 @@ func BenchmarkFig14L2(b *testing.B) {
 }
 
 func BenchmarkFig16Prefetch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Fig16and17(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -92,6 +101,7 @@ func BenchmarkFig16Prefetch(b *testing.B) {
 }
 
 func BenchmarkFig18RS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig18(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -100,6 +110,7 @@ func BenchmarkFig18RS(b *testing.B) {
 }
 
 func BenchmarkFig19Accuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig19(benchOpt()); err != nil {
 			b.Fatal(err)
@@ -111,6 +122,7 @@ func BenchmarkFig19Accuracy(b *testing.B) {
 
 func benchConfig(b *testing.B, cfg Config, p Profile) {
 	b.Helper()
+	b.ReportAllocs()
 	m, err := NewModel(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -124,24 +136,28 @@ func benchConfig(b *testing.B, cfg Config, p Profile) {
 }
 
 func BenchmarkAblationSpeculativeDispatchOff(b *testing.B) {
+	b.ReportAllocs()
 	cfg := BaseConfig()
 	cfg.CPU.SpeculativeDispatch = false
 	benchConfig(b, cfg, SPECint95())
 }
 
 func BenchmarkAblationDataForwardingOff(b *testing.B) {
+	b.ReportAllocs()
 	cfg := BaseConfig()
 	cfg.CPU.DataForwarding = false
 	benchConfig(b, cfg, SPECint95())
 }
 
 func BenchmarkAblationBlockingL1(b *testing.B) {
+	b.ReportAllocs()
 	cfg := BaseConfig()
 	cfg.L1D.MSHRs = 1
 	benchConfig(b, cfg, TPCC())
 }
 
 func BenchmarkAblationFlatMemory(b *testing.B) {
+	b.ReportAllocs()
 	cfg := BaseConfig()
 	cfg.Fidelity.FlatMemory = true
 	cfg.Fidelity.FlatMemoryCycles = 22
@@ -149,6 +165,7 @@ func BenchmarkAblationFlatMemory(b *testing.B) {
 }
 
 func BenchmarkAblationSingleBankL1(b *testing.B) {
+	b.ReportAllocs()
 	cfg := BaseConfig()
 	cfg.L1D.Banks = 1
 	benchConfig(b, cfg, SPECint95())
@@ -157,6 +174,7 @@ func BenchmarkAblationSingleBankL1(b *testing.B) {
 // Raw component benches.
 
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	g := workload.New(workload.TPCC(), 1, 0)
 	var r trace.Record
 	b.ResetTimer()
@@ -166,6 +184,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 }
 
 func BenchmarkSimulatorSpeed(b *testing.B) {
+	b.ReportAllocs()
 	// Simulated instructions per wall-clock second on SPECint95.
 	m, _ := NewModel(BaseConfig())
 	opt := core.RunOptions{Insts: 100_000}
@@ -182,13 +201,39 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
 
+func BenchmarkSchedulerSweep(b *testing.B) {
+	// A batch of independent runs through the sched worker pool — the shape
+	// every expt study and cmd/sweep reduce to. Reports aggregate simulated
+	// instructions per wall-clock second at the default worker count.
+	b.ReportAllocs()
+	m, _ := NewModel(BaseConfig())
+	profiles := []Profile{SPECint95(), SPECfp95(), SPECint2000(), SPECfp2000(), TPCC()}
+	opt := core.RunOptions{Insts: 60_000}
+	total := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := sched.Map(len(profiles), sched.Options{Workers: opt.Workers},
+			func(j int) (system.Report, error) { return m.Run(profiles[j], opt) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reports {
+			total += int64(r.Committed)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
 func BenchmarkAblationStoreForwardingOff(b *testing.B) {
+	b.ReportAllocs()
 	cfg := BaseConfig()
 	cfg.CPU.StoreForwarding = false
 	benchConfig(b, cfg, TPCC())
 }
 
 func BenchmarkAblationSingleFMAUnit(b *testing.B) {
+	b.ReportAllocs()
 	// The paper: "Having two sets of floating-point multiply-add execution
 	// units is effective for HPC performance." This ablation halves them.
 	cfg := BaseConfig()

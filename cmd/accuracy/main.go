@@ -32,13 +32,18 @@ func main() {
 		workloadName = flag.String("workload", "specint2000", "workload name")
 		insts        = flag.Int("insts", 300_000, "instructions per run")
 		seed         = flag.Int64("seed", 42, "workload seed")
+		parallel     = flag.Bool("parallel", true, "run independent simulations concurrently")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	prof, ok := profileByName(*workloadName)
 	if !ok {
 		fatal("unknown workload %q", *workloadName)
 	}
-	opt := core.RunOptions{Insts: *insts, Seed: *seed}
+	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
+	if !*parallel {
+		opt.Workers = 1
+	}
 	base := config.Base()
 
 	// 1. Fidelity ladder.

@@ -2,6 +2,13 @@
 // evaluation at full trace length and renders them as text or markdown
 // (the source of EXPERIMENTS.md).
 //
+// The studies are independent simulations, so the sweep fans out onto the
+// sched worker pool by default (-parallel=false or -workers 1 restores the
+// serial sweep; output is byte-identical either way). The stderr summary
+// reports per-study wall time and the sweep's effective simulated
+// instructions/second — the modern counterpart of the paper's "7.8K
+// instructions per second on a 1-GHz Pentium III" model-speed quote.
+//
 // Example:
 //
 //	sweep -insts 1000000 -markdown > EXPERIMENTS.md
@@ -15,6 +22,7 @@ import (
 
 	"sparc64v/internal/core"
 	"sparc64v/internal/expt"
+	"sparc64v/internal/sched"
 )
 
 func main() {
@@ -22,12 +30,19 @@ func main() {
 		insts    = flag.Int("insts", 1_000_000, "instructions per CPU per run")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+		parallel = flag.Bool("parallel", true, "run independent simulations concurrently")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	opt := core.RunOptions{Insts: *insts, Seed: *seed}
+	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
+	if !*parallel {
+		opt.Workers = 1
+	}
+	expt.MeterReset()
 	t0 := time.Now()
 	results, err := expt.All(opt)
+	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -35,7 +50,8 @@ func main() {
 	if *markdown {
 		fmt.Printf("# EXPERIMENTS — paper vs. reproduced\n\n")
 		fmt.Printf("Regenerated with `go run ./cmd/sweep -insts %d -markdown` ", *insts)
-		fmt.Printf("(runtime %s).\n\n", time.Since(t0).Round(time.Second))
+		fmt.Printf("(runtime %s, %d workers).\n\n", wall.Round(time.Second),
+			sched.Workers(opt.Workers))
 		fmt.Println("Absolute numbers are not comparable to the paper (the workloads are")
 		fmt.Println("synthetic substitutes; see DESIGN.md). The reproduction target is the")
 		fmt.Println("*shape* of each comparison: who wins, roughly by how much, and where")
@@ -52,10 +68,28 @@ func main() {
 				fmt.Printf("```\n%s```\n\n", r.Chart)
 			}
 		}
-		return
+	} else {
+		for _, r := range results {
+			fmt.Println(r.String())
+		}
 	}
+	summarize(results, wall, sched.Workers(opt.Workers))
+}
+
+// summarize prints the per-study wall times and the sweep's effective
+// simulated-instruction throughput to stderr.
+func summarize(results []expt.Result, wall time.Duration, workers int) {
+	fmt.Fprintf(os.Stderr, "sweep: study wall times (%d workers, studies overlap):\n", workers)
 	for _, r := range results {
-		fmt.Println(r.String())
+		if r.Elapsed <= 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %-40s %10s\n", r.ID, r.Title,
+			r.Elapsed.Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "sweep: done in %s\n", time.Since(t0).Round(time.Second))
+	instrs, runs := expt.Meter()
+	fmt.Fprintf(os.Stderr,
+		"sweep: done in %s: %d runs, %.1fM instrs simulated, %.0f effective sim-instrs/s\n",
+		wall.Round(time.Millisecond), runs, float64(instrs)/1e6,
+		float64(instrs)/wall.Seconds())
 }

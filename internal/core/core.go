@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"sparc64v/internal/config"
+	"sparc64v/internal/sched"
 	"sparc64v/internal/stats"
 	"sparc64v/internal/system"
 	"sparc64v/internal/trace"
@@ -46,6 +47,12 @@ type RunOptions struct {
 	// statistics (cache/BHT warmup, mirroring the paper's steady-state
 	// trace capture); 0 means Insts/5.
 	Warmup uint64
+	// Workers bounds harness-level fan-out: how many independent
+	// simulations (Breakdown's fidelity runs, RunMany's seeds, the expt
+	// studies) run concurrently. 0 means GOMAXPROCS, 1 forces a serial
+	// run. It never changes results — every job owns its model and trace
+	// state, and results are assembled in submission order.
+	Workers int
 }
 
 func (o *RunOptions) defaults() {
@@ -106,36 +113,47 @@ type BreakdownResult struct {
 	Base, PerfectL2, PerfectL1, PerfectAll system.Report
 }
 
-// Breakdown runs the four-model perfect-ization study on one workload:
+// BreakdownConfigs returns the study's four configurations in fixed order:
 // the real machine, a machine whose L2 never misses, one whose L1s and
 // TLBs also never miss, and one with perfect branch prediction on top.
-// The cycle-count deltas attribute execution time exactly as section 4.2.
-func (m *Model) Breakdown(p workload.Profile, opt RunOptions) (BreakdownResult, error) {
-	res := BreakdownResult{Workload: p.Name}
-	runs := []struct {
-		perf config.Perfect
-		out  *system.Report
-	}{
-		{config.Perfect{}, &res.Base},
-		{config.Perfect{L2: true}, &res.PerfectL2},
-		{config.Perfect{L2: true, L1: true, TLB: true}, &res.PerfectL1},
-		{config.Perfect{L2: true, L1: true, TLB: true, Branch: true}, &res.PerfectAll},
+func BreakdownConfigs(cfg config.Config) []config.Config {
+	return []config.Config{
+		cfg.WithPerfect(config.Perfect{}),
+		cfg.WithPerfect(config.Perfect{L2: true}),
+		cfg.WithPerfect(config.Perfect{L2: true, L1: true, TLB: true}),
+		cfg.WithPerfect(config.Perfect{L2: true, L1: true, TLB: true, Branch: true}),
 	}
-	for _, r := range runs {
-		sub, err := NewModel(m.cfg.WithPerfect(r.perf))
-		if err != nil {
-			return res, err
-		}
-		rep, err := sub.Run(p, opt)
-		if err != nil {
-			return res, err
-		}
-		*r.out = rep
-	}
+}
+
+// AssembleBreakdown attributes execution time from the four reports of the
+// BreakdownConfigs runs (same order). The cycle-count deltas attribute
+// execution time exactly as section 4.2.
+func AssembleBreakdown(workload string, reports []system.Report) BreakdownResult {
+	res := BreakdownResult{Workload: workload}
+	res.Base, res.PerfectL2, res.PerfectL1, res.PerfectAll =
+		reports[0], reports[1], reports[2], reports[3]
 	res.Breakdown = stats.FromCycles(
 		res.Base.MeasuredCycles(), res.PerfectL2.MeasuredCycles(),
 		res.PerfectL1.MeasuredCycles(), res.PerfectAll.MeasuredCycles())
-	return res, nil
+	return res
+}
+
+// Breakdown runs the four-model perfect-ization study on one workload.
+// The four runs are independent and execute on the scheduler.
+func (m *Model) Breakdown(p workload.Profile, opt RunOptions) (BreakdownResult, error) {
+	cfgs := BreakdownConfigs(m.cfg)
+	reports, err := sched.Map(len(cfgs), sched.Options{Workers: opt.Workers},
+		func(i int) (system.Report, error) {
+			sub, err := NewModel(cfgs[i])
+			if err != nil {
+				return system.Report{}, err
+			}
+			return sub.Run(p, opt)
+		})
+	if err != nil {
+		return BreakdownResult{Workload: p.Name}, err
+	}
+	return AssembleBreakdown(p.Name, reports), nil
 }
 
 // Version is one rung of the model-fidelity ladder the paper labels
@@ -197,20 +215,25 @@ type Aggregate struct {
 }
 
 // RunMany runs the profile over n consecutive seeds starting at opt.Seed.
+// The seeds are independent samples and execute on the scheduler; reports
+// stay in seed order regardless of completion order.
 func (m *Model) RunMany(p workload.Profile, opt RunOptions, n int) (Aggregate, error) {
 	if n < 1 {
 		n = 1
 	}
 	opt.defaults()
 	var agg Aggregate
-	var ipcs []float64
-	for i := 0; i < n; i++ {
-		o := opt
-		o.Seed = opt.Seed + int64(i)
-		r, err := m.Run(p, o)
-		if err != nil {
-			return agg, err
-		}
+	reports, err := sched.Map(n, sched.Options{Workers: opt.Workers},
+		func(i int) (system.Report, error) {
+			o := opt
+			o.Seed = opt.Seed + int64(i)
+			return m.Run(p, o)
+		})
+	if err != nil {
+		return agg, err
+	}
+	ipcs := make([]float64, 0, n)
+	for _, r := range reports {
 		agg.Reports = append(agg.Reports, r)
 		ipcs = append(ipcs, r.IPC())
 	}

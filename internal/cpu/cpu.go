@@ -164,8 +164,38 @@ type CPU struct {
 	stations [numStations][]uint64  // seqs
 	unitFree [numStations][2]uint64 // per attached unit: next free cycle
 
-	// Fetch state.
+	// Configuration-derived constants, resolved once at New so the
+	// per-cycle stages never chase cfg pointers or re-branch on static
+	// switches (the dispatch/issue path dominates the simulator profile).
+	dispWidth    [numStations]int // dispatches per cycle per station
+	stationCaps  [numStations]int // station entry capacities
+	latencies    [isa.NumClasses]isa.LatencyClass
+	fwdPenalty   uint64 // extra source-to-use delay when forwarding is off
+	issueWidth   int
+	commitWidth  int
+	windowSize   int
+	intRename    int
+	fpRename     int
+	lqEntries    int
+	sqEntries    int
+	fetchWidth   int    // instructions per fetch group
+	fetchBufCap  int    // fetch buffer capacity bound
+	pipeDepth    uint64 // fetch+decode pipeline depth
+	hitCycles    uint64 // L1D predicted-hit latency
+	storeFwdLat  uint64
+	redirectPen  uint64 // mispredict refill penalty
+	specialPen   uint64 // crude Special-instruction penalty
+	specDispatch bool
+	storeForward bool
+	specialCrude bool // Special serializes (i.e. !SpecialDetailed)
+	bankChecks   bool // bank-conflict fidelity with >1 bank
+	bhtBubbles   bool
+
+	// Fetch state. fetchBuf is a head-indexed queue: entries are consumed
+	// by advancing fetchHead and the backing array is reused, so steady
+	// state allocates nothing.
 	fetchBuf      []fetchedInstr
+	fetchHead     int
 	pendingRec    trace.Record
 	pendingValid  bool
 	srcDone       bool
@@ -174,9 +204,10 @@ type CPU struct {
 	lastFetchLine uint64 // last I-cache line probed
 	haveLine      bool
 
-	// Load/store queues.
+	// Load/store queues. drainQ is head-indexed like fetchBuf.
 	lqCount, sqCount int
 	drainQ           []drainStore
+	drainHead        int
 
 	reveals []reveal
 
@@ -218,6 +249,38 @@ func New(cfg *config.Config, id int, chipMem *ChipMem, src trace.Source) *CPU {
 	for i := range c.stations {
 		c.stations[i] = make([]uint64, 0, 2*cfg.CPU.RSEEntries+4)
 	}
+	p := &cfg.CPU
+	for st := 0; st < numStations; st++ {
+		c.dispWidth[st] = dispatchWidthFor(p, st)
+		c.stationCaps[st] = stationCapFor(p, st)
+	}
+	c.latencies = p.Latencies
+	if !p.DataForwarding {
+		c.fwdPenalty = uint64(p.ForwardDelay)
+	}
+	c.issueWidth = p.IssueWidth
+	c.commitWidth = p.CommitWidth
+	c.windowSize = p.WindowSize
+	c.intRename = p.IntRenameRegs
+	c.fpRename = p.FPRenameRegs
+	c.lqEntries = p.LoadQueueEntries
+	c.sqEntries = p.StoreQueueEntries
+	c.fetchWidth = p.FetchBytes / isa.InstrBytes
+	c.fetchBufCap = p.FetchBufEntries
+	c.pipeDepth = uint64(p.FetchPipeStages + p.DecodeStages)
+	c.hitCycles = uint64(cfg.L1D.HitCycles)
+	c.storeFwdLat = uint64(p.StoreForwardCycles)
+	c.redirectPen = uint64(p.MispredictRedirect)
+	c.specialPen = uint64(p.SpecialPenalty)
+	c.specDispatch = p.SpeculativeDispatch
+	c.storeForward = p.StoreForwarding
+	c.specialCrude = !p.SpecialDetailed
+	c.bankChecks = cfg.Fidelity.BankConflicts && cfg.L1D.Banks > 1
+	c.bhtBubbles = cfg.Fidelity.BHTBubbles
+	// The queues' occupancy bounds are enforced at issue/commit, so sizing
+	// the backing arrays to those bounds makes steady state allocation-free.
+	c.fetchBuf = make([]fetchedInstr, 0, p.FetchBufEntries+1)
+	c.drainQ = make([]drainStore, 0, p.StoreQueueEntries+1)
 	return c
 }
 
@@ -236,10 +299,56 @@ func (c *CPU) entry(seq uint64) *robEntry {
 // inFlight returns the number of window entries in use.
 func (c *CPU) inFlight() int { return int(c.tail - c.head) }
 
+// fetchBufLen returns the number of buffered fetched instructions.
+func (c *CPU) fetchBufLen() int { return len(c.fetchBuf) - c.fetchHead }
+
+// pushFetch enqueues a fetched instruction, recycling the backing array
+// once the consumed prefix would force a grow (capacity covers the
+// occupancy bound, so steady state never allocates).
+func (c *CPU) pushFetch(fi fetchedInstr) {
+	if len(c.fetchBuf) == cap(c.fetchBuf) && c.fetchHead > 0 {
+		n := copy(c.fetchBuf, c.fetchBuf[c.fetchHead:])
+		c.fetchBuf = c.fetchBuf[:n]
+		c.fetchHead = 0
+	}
+	c.fetchBuf = append(c.fetchBuf, fi)
+}
+
+// popFetch consumes the oldest buffered instruction.
+func (c *CPU) popFetch() {
+	c.fetchHead++
+	if c.fetchHead == len(c.fetchBuf) {
+		c.fetchBuf = c.fetchBuf[:0]
+		c.fetchHead = 0
+	}
+}
+
+// drainLen returns the number of committed stores awaiting drain.
+func (c *CPU) drainLen() int { return len(c.drainQ) - c.drainHead }
+
+// pushDrain enqueues a committed store, recycling like pushFetch.
+func (c *CPU) pushDrain(d drainStore) {
+	if len(c.drainQ) == cap(c.drainQ) && c.drainHead > 0 {
+		n := copy(c.drainQ, c.drainQ[c.drainHead:])
+		c.drainQ = c.drainQ[:n]
+		c.drainHead = 0
+	}
+	c.drainQ = append(c.drainQ, d)
+}
+
+// popDrain consumes the oldest committed store.
+func (c *CPU) popDrain() {
+	c.drainHead++
+	if c.drainHead == len(c.drainQ) {
+		c.drainQ = c.drainQ[:0]
+		c.drainHead = 0
+	}
+}
+
 // Done reports whether the trace is exhausted and the pipeline drained.
 func (c *CPU) Done() bool {
-	return c.srcDone && !c.pendingValid && len(c.fetchBuf) == 0 &&
-		c.inFlight() == 0 && len(c.drainQ) == 0
+	return c.srcDone && !c.pendingValid && c.fetchBufLen() == 0 &&
+		c.inFlight() == 0 && c.drainLen() == 0
 }
 
 // Tick advances the core by one cycle. Stage order is reverse-pipeline so
@@ -263,7 +372,7 @@ func (c *CPU) Tick(cycle uint64) {
 
 // commit retires up to CommitWidth completed instructions in order.
 func (c *CPU) commit(cycle uint64) {
-	for n := 0; n < c.cfg.CPU.CommitWidth && c.head < c.tail; n++ {
+	for n := 0; n < c.commitWidth && c.head < c.tail; n++ {
 		e := &c.window[c.head&c.winMask]
 		if e.st != stDispatched || e.completeCycle > cycle {
 			return
@@ -278,7 +387,7 @@ func (c *CPU) commit(cycle uint64) {
 			} else if rdy > cycle {
 				return
 			}
-			c.drainQ = append(c.drainQ, drainStore{addr: e.rec.EA, size: e.rec.Size, ok: cycle + 1})
+			c.pushDrain(drainStore{addr: e.rec.EA, size: e.rec.Size, ok: cycle + 1})
 		}
 		if e.isLoad() {
 			c.lqCount--
@@ -382,5 +491,5 @@ func (c *CPU) resetMeasurement() {
 // String summarizes pipeline state (debugging aid).
 func (c *CPU) String() string {
 	return fmt.Sprintf("cpu%d: seq[%d,%d) fetchbuf=%d lq=%d sq=%d drain=%d",
-		c.id, c.head, c.tail, len(c.fetchBuf), c.lqCount, c.sqCount, len(c.drainQ))
+		c.id, c.head, c.tail, c.fetchBufLen(), c.lqCount, c.sqCount, c.drainLen())
 }

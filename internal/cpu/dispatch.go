@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"sparc64v/internal/config"
 	"sparc64v/internal/isa"
 )
 
@@ -13,28 +14,28 @@ func (c *CPU) issue(cycle uint64) {
 	for st := range c.stations {
 		c.compactStation(st, cycle)
 	}
-	for n := 0; n < c.cfg.CPU.IssueWidth; n++ {
-		if len(c.fetchBuf) == 0 || c.fetchBuf[0].readyAt > cycle {
+	for n := 0; n < c.issueWidth; n++ {
+		if c.fetchBufLen() == 0 || c.fetchBuf[c.fetchHead].readyAt > cycle {
 			return
 		}
 		if c.serializeSeq != 0 {
 			// A crude-mode Special instruction serializes the window.
 			return
 		}
-		fi := &c.fetchBuf[0]
+		fi := &c.fetchBuf[c.fetchHead]
 		rec := &fi.rec
 
-		if c.inFlight() >= c.cfg.CPU.WindowSize {
+		if c.inFlight() >= c.windowSize {
 			c.Stats.StallWindow++
 			return
 		}
 		if rec.HasDst() {
 			if isa.IsIntReg(rec.Dst) {
-				if c.intInFlight >= c.cfg.CPU.IntRenameRegs {
+				if c.intInFlight >= c.intRename {
 					c.Stats.StallRename++
 					return
 				}
-			} else if c.fpInFlight >= c.cfg.CPU.FPRenameRegs {
+			} else if c.fpInFlight >= c.fpRename {
 				c.Stats.StallRename++
 				return
 			}
@@ -44,11 +45,11 @@ func (c *CPU) issue(cycle uint64) {
 			c.Stats.StallRS++
 			return
 		}
-		if rec.Op == isa.Load && c.lqCount >= c.cfg.CPU.LoadQueueEntries {
+		if rec.Op == isa.Load && c.lqCount >= c.lqEntries {
 			c.Stats.StallLQ++
 			return
 		}
-		if rec.Op == isa.Store && c.sqCount >= c.cfg.CPU.StoreQueueEntries {
+		if rec.Op == isa.Store && c.sqCount >= c.sqEntries {
 			c.Stats.StallSQ++
 			return
 		}
@@ -105,14 +106,11 @@ func (c *CPU) issue(cycle uint64) {
 		if e.mispredict {
 			c.blockSeq = seq + 1
 		}
-		if rec.Op == isa.Special && !c.cfg.CPU.SpecialDetailed {
+		if rec.Op == isa.Special && c.specialCrude {
 			c.serializeSeq = seq + 1
 			c.Stats.SpecialSerialized++
 		}
-		c.fetchBuf = c.fetchBuf[1:]
-		if len(c.fetchBuf) == 0 {
-			c.fetchBuf = nil // let the backing array be reclaimed
-		}
+		c.popFetch()
 	}
 }
 
@@ -160,9 +158,32 @@ func (c *CPU) stationFor(op isa.Class) int {
 	}
 }
 
-// stationCap returns the entry capacity of a station.
-func (c *CPU) stationCap(st int) int {
-	p := &c.cfg.CPU
+// dispatchWidthFor returns dispatches per cycle for a station (resolved
+// once at New into CPU.dispWidth).
+func dispatchWidthFor(p *config.CPUParams, st int) int {
+	switch st {
+	case rsA:
+		return p.AGUnits
+	case rsBR:
+		return 1
+	case rsE0:
+		if p.OneRS && p.IntUnits >= 2 {
+			return 2
+		}
+		return 1
+	case rsF0:
+		if p.OneRS && p.FPUnits >= 2 {
+			return 2
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// stationCapFor returns the entry capacity of a station (resolved once at
+// New into CPU.stationCaps).
+func stationCapFor(p *config.CPUParams, st int) int {
 	switch st {
 	case rsA:
 		return p.RSAEntries
@@ -206,36 +227,14 @@ func (c *CPU) compactStation(st int, cycle uint64) {
 // stationHasRoom checks capacity (stations are compacted once per cycle at
 // the top of issue).
 func (c *CPU) stationHasRoom(st int, cycle uint64) bool {
-	return len(c.stations[st]) < c.stationCap(st)
-}
-
-// dispatchWidth returns dispatches per cycle for a station.
-func (c *CPU) dispatchWidth(st int) int {
-	switch st {
-	case rsA:
-		return c.cfg.CPU.AGUnits
-	case rsBR:
-		return 1
-	case rsE0:
-		if c.cfg.CPU.OneRS && c.cfg.CPU.IntUnits >= 2 {
-			return 2
-		}
-		return 1
-	case rsF0:
-		if c.cfg.CPU.OneRS && c.cfg.CPU.FPUnits >= 2 {
-			return 2
-		}
-		return 1
-	default:
-		return 1
-	}
+	return len(c.stations[st]) < c.stationCaps[st]
 }
 
 // dispatch selects ready (or predicted-ready) instructions from each
 // reservation station, oldest first, and schedules their execution.
 func (c *CPU) dispatch(cycle uint64) {
 	for st := 0; st < numStations; st++ {
-		width := c.dispatchWidth(st)
+		width := c.dispWidth[st]
 		dispatched := 0
 		for _, seq := range c.stations[st] {
 			if dispatched >= width {
@@ -259,34 +258,44 @@ func (c *CPU) dispatch(cycle uint64) {
 	}
 }
 
+// srcReady reports whether the producer behind handle h delivers its
+// result by limit (the consumer's execute stage), and until when that
+// result remains cancellable. The window lookup is inlined (vs entry) so
+// the scoreboard check costs one masked load in the common cases.
+func (c *CPU) srcReady(h, limit uint64) (bool, uint64) {
+	if h == 0 {
+		return true, 0
+	}
+	p := &c.window[(h-1)&c.winMask]
+	if p.st == stEmpty || p.seq != h-1 {
+		return true, 0 // committed: value in the register file
+	}
+	if p.st != stDispatched || p.fwdCycle == never {
+		return false, 0
+	}
+	if p.fwdCycle+c.fwdPenalty > limit {
+		return false, 0
+	}
+	return true, p.specUntil
+}
+
 // sourcesReady reports whether e may dispatch at cycle (its sources'
 // results reach the execute stage in time), and until when the dispatch
 // remains cancellable because a source is a still-unconfirmed load hit.
 func (c *CPU) sourcesReady(e *robEntry, cycle uint64) (bool, uint64) {
-	specUntil := uint64(0)
-	for _, h := range [2]uint64{e.src1Seq, e.src2Seq} {
-		if h == 0 {
-			continue
-		}
-		p := c.entry(h - 1)
-		if p == nil {
-			continue // committed: value in the register file
-		}
-		if p.st != stDispatched || p.fwdCycle == never {
-			return false, 0
-		}
-		fwd := p.fwdCycle
-		if !c.cfg.CPU.DataForwarding {
-			fwd += uint64(c.cfg.CPU.ForwardDelay)
-		}
-		if fwd > cycle+execOffset {
-			return false, 0
-		}
-		if p.specUntil > specUntil {
-			specUntil = p.specUntil
-		}
+	limit := cycle + execOffset
+	ok, spec1 := c.srcReady(e.src1Seq, limit)
+	if !ok {
+		return false, 0
 	}
-	return true, specUntil
+	ok, spec2 := c.srcReady(e.src2Seq, limit)
+	if !ok {
+		return false, 0
+	}
+	if spec2 > spec1 {
+		spec1 = spec2
+	}
+	return true, spec1
 }
 
 // execOffset is the dispatch-to-execute depth: dispatch, register read,
@@ -308,7 +317,7 @@ func (c *CPU) freeUnit(st, width int, cycle uint64) int {
 // schedule marks e dispatched at cycle on the given unit and computes its
 // timing.
 func (c *CPU) schedule(e *robEntry, st, unit int, cycle uint64, specUntil uint64) {
-	lat := c.cfg.CPU.Latencies[e.rec.Op]
+	lat := c.latencies[e.rec.Op]
 	execStart := cycle + execOffset
 	done := execStart + uint64(lat.Cycles)
 
@@ -337,11 +346,11 @@ func (c *CPU) schedule(e *robEntry, st, unit int, cycle uint64, specUntil uint64
 		e.completeCycle = done
 		if e.mispredict && c.blockSeq == e.seq+1 {
 			// Resolution: fetch restarts down the correct path.
-			c.fetchResumeAt = done + uint64(c.cfg.CPU.MispredictRedirect)
+			c.fetchResumeAt = done + c.redirectPen
 		}
 	default:
-		if e.rec.Op == isa.Special && !c.cfg.CPU.SpecialDetailed {
-			done = execStart + uint64(c.cfg.CPU.SpecialPenalty)
+		if e.rec.Op == isa.Special && c.specialCrude {
+			done = execStart + c.specialPen
 		}
 		e.fwdCycle = done
 		e.completeCycle = done
@@ -391,26 +400,12 @@ func (c *CPU) applyReveal(r reveal) {
 
 // dispatchStillValid re-checks a dispatched entry's source timing.
 func (c *CPU) dispatchStillValid(d *robEntry) bool {
-	for _, h := range [2]uint64{d.src1Seq, d.src2Seq} {
-		if h == 0 {
-			continue
-		}
-		p := c.entry(h - 1)
-		if p == nil {
-			continue
-		}
-		if p.st != stDispatched || p.fwdCycle == never {
-			return false
-		}
-		fwd := p.fwdCycle
-		if !c.cfg.CPU.DataForwarding {
-			fwd += uint64(c.cfg.CPU.ForwardDelay)
-		}
-		if fwd > d.dispCycle+execOffset {
-			return false
-		}
+	limit := d.dispCycle + execOffset
+	if ok, _ := c.srcReady(d.src1Seq, limit); !ok {
+		return false
 	}
-	return true
+	ok, _ := c.srcReady(d.src2Seq, limit)
+	return ok
 }
 
 // cancel returns a dispatched entry to its reservation station.

@@ -23,9 +23,9 @@ func (c *CPU) fetch(cycle uint64) {
 	}
 	c.blockSeq = 0
 
-	width := c.cfg.CPU.FetchBytes / isa.InstrBytes
+	width := c.fetchWidth
 	for n := 0; n < width; n++ {
-		if len(c.fetchBuf) >= c.cfg.CPU.FetchBufEntries {
+		if c.fetchBufLen() >= c.fetchBufCap {
 			return
 		}
 		if !c.pendingValid {
@@ -64,16 +64,16 @@ func (c *CPU) fetch(cycle uint64) {
 				out = c.pred.Conditional(rec.PC, rec.Taken, rec.EA)
 			}
 		}
-		if !c.cfg.Fidelity.BHTBubbles {
+		if !c.bhtBubbles {
 			out.TakenBubbles = 0
 		}
 
 		c.pendingValid = false
 		c.Stats.Fetched++
-		c.fetchBuf = append(c.fetchBuf, fetchedInstr{
+		c.pushFetch(fetchedInstr{
 			rec:     rec,
 			fetched: cycle,
-			readyAt: cycle + uint64(c.cfg.CPU.FetchPipeStages+c.cfg.CPU.DecodeStages),
+			readyAt: cycle + c.pipeDepth,
 			outcome: out,
 		})
 

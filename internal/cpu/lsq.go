@@ -18,7 +18,7 @@ func (c *CPU) lsqTick(cycle uint64) {
 	banks := c.cfg.L1D.Banks
 	bankBytes := c.cfg.L1D.BankBytes
 	checkBank := func(addr uint64) bool {
-		if !c.cfg.Fidelity.BankConflicts || banks <= 1 {
+		if !c.bankChecks {
 			return true
 		}
 		b := cache.Bank(addr, banks, bankBytes)
@@ -41,7 +41,7 @@ func (c *CPU) lsqTick(cycle uint64) {
 			e.accessed || e.addrReady > cycle {
 			continue
 		}
-		if c.cfg.CPU.StoreForwarding {
+		if c.storeForward {
 			if ready, ok, wait := c.forwardFromStore(e, cycle); ok {
 				ports--
 				e.accessed = true
@@ -63,7 +63,7 @@ func (c *CPU) lsqTick(cycle uint64) {
 		ports--
 		e.accessed = true
 		e.completeCycle = res.Ready
-		if !c.cfg.CPU.SpeculativeDispatch {
+		if !c.specDispatch {
 			// Conservative machine: consumers dispatch only after the data
 			// is confirmed valid, paying the dispatch-to-execute depth on
 			// every load-use — the deep-pipeline bubble speculative
@@ -77,7 +77,7 @@ func (c *CPU) lsqTick(cycle uint64) {
 		}
 		// Speculative dispatch: consumers see the predicted hit timing;
 		// the miss is revealed when the hit data would have arrived.
-		predicted := cycle + uint64(c.cfg.L1D.HitCycles)
+		predicted := cycle + c.hitCycles
 		e.fwdCycle = predicted + 1
 		e.specUntil = predicted + 1
 		c.reveals = append(c.reveals, reveal{
@@ -88,8 +88,8 @@ func (c *CPU) lsqTick(cycle uint64) {
 	}
 
 	// Committed stores drain in order with leftover ports.
-	for ports > 0 && len(c.drainQ) > 0 && c.drainQ[0].ok <= cycle {
-		d := c.drainQ[0]
+	for ports > 0 && c.drainLen() > 0 && c.drainQ[c.drainHead].ok <= cycle {
+		d := c.drainQ[c.drainHead]
 		if !checkBank(d.addr) {
 			break
 		}
@@ -98,10 +98,7 @@ func (c *CPU) lsqTick(cycle uint64) {
 			break
 		}
 		ports--
-		c.drainQ = c.drainQ[1:]
-		if len(c.drainQ) == 0 {
-			c.drainQ = nil
-		}
+		c.popDrain()
 		c.sqCount--
 		c.Stats.StoresDrained++
 	}
@@ -114,7 +111,7 @@ func (c *CPU) lsqTick(cycle uint64) {
 // from the drain queue.
 func (c *CPU) forwardFromStore(ld *robEntry, cycle uint64) (ready uint64, ok, wait bool) {
 	window := ld.rec.EA &^ 7
-	lat := uint64(c.cfg.CPU.StoreForwardCycles)
+	lat := c.storeFwdLat
 	// Youngest older in-window store wins.
 	for seq := ld.seq; seq > c.head; seq-- {
 		e := c.entry(seq - 1)
@@ -130,7 +127,7 @@ func (c *CPU) forwardFromStore(ld *robEntry, cycle uint64) (ready uint64, ok, wa
 		return cycle + lat, true, false
 	}
 	// Committed stores awaiting drain.
-	for i := len(c.drainQ) - 1; i >= 0; i-- {
+	for i := len(c.drainQ) - 1; i >= c.drainHead; i-- {
 		if c.drainQ[i].addr&^7 == window {
 			return cycle + lat, true, false
 		}

@@ -3,14 +3,23 @@
 // paper ran on its performance model and renders the same rows/series.
 // Absolute numbers differ (synthetic workloads, not Fujitsu's traces) but
 // the comparisons' shapes are the reproduction target; see EXPERIMENTS.md.
+//
+// Every study is a set of independent (configuration, workload)
+// simulations — exactly how the paper's team ran them — so each harness
+// submits its runs to the sched worker pool and assembles tables from the
+// deterministically ordered results. All itself runs whole studies
+// concurrently on top of that. Workers = 1 (core.RunOptions.Workers)
+// degenerates to the historical serial sweep with identical output.
 package expt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
+	"sparc64v/internal/sched"
 	"sparc64v/internal/stats"
 	"sparc64v/internal/system"
 	"sparc64v/internal/verif"
@@ -30,6 +39,11 @@ type Result struct {
 	Chart string
 	// Notes records expected-shape commentary.
 	Notes []string
+	// Elapsed is the study's wall-clock time when produced by All
+	// (results of one multi-figure study share the value). It is not part
+	// of String(), so rendered tables stay byte-identical across worker
+	// counts and hosts.
+	Elapsed time.Duration
 }
 
 // String renders the result.
@@ -44,13 +58,61 @@ func (r *Result) String() string {
 	return s
 }
 
+// meter accumulates committed instructions and runs across every
+// simulation started by this package, so callers (cmd/sweep, ModelSpeed)
+// can report effective simulated-instructions/second — the modern
+// counterpart of the paper's model-speed quote. Atomics: studies run
+// concurrently.
+var (
+	meterInstrs atomic.Uint64
+	meterRuns   atomic.Uint64
+)
+
+// MeterReset zeroes the throughput meter.
+func MeterReset() { meterInstrs.Store(0); meterRuns.Store(0) }
+
+// Meter returns committed instructions and simulation runs accumulated
+// since the last reset.
+func Meter() (instrs, runs uint64) { return meterInstrs.Load(), meterRuns.Load() }
+
 // run executes one workload on one configuration.
 func run(cfg config.Config, p workload.Profile, opt core.RunOptions) (system.Report, error) {
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		return system.Report{}, err
 	}
-	return m.Run(p, opt)
+	r, err := m.Run(p, opt)
+	meterInstrs.Add(r.Committed)
+	meterRuns.Add(1)
+	return r, err
+}
+
+// job is one independent simulation of a study.
+type job struct {
+	cfg config.Config
+	p   workload.Profile
+	opt core.RunOptions
+}
+
+// runJobs executes a study's simulations on the scheduler and returns the
+// reports in submission order.
+func runJobs(jobs []job, opt core.RunOptions) ([]system.Report, error) {
+	return sched.Map(len(jobs), sched.Options{Workers: opt.Workers},
+		func(i int) (system.Report, error) {
+			return run(jobs[i].cfg, jobs[i].p, jobs[i].opt)
+		})
+}
+
+// crossJobs builds the full (profile x config) product with one options
+// value, profiles outermost — the iteration order every study table uses.
+func crossJobs(profiles []workload.Profile, cfgs []config.Config, opt core.RunOptions) []job {
+	jobs := make([]job, 0, len(profiles)*len(cfgs))
+	for _, p := range profiles {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, job{cfg: cfg, p: p, opt: opt})
+		}
+	}
+	return jobs
 }
 
 // mpOpt scales a run down for 16-processor studies (16 traces execute in
@@ -104,20 +166,21 @@ func Table1() Result {
 
 // Fig07 reproduces the benchmark characterization: execution-time
 // breakdown into core / branch / ibs+tlb / sx via perfect-ization.
+// The study is 5 workloads x 4 perfect-ization rungs = 20 independent
+// simulations, flattened onto one scheduler batch.
 func Fig07(opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Execution time breakdown (fraction of cycles)",
 		"workload", "core", "branch", "ibs/tlb", "sx")
-	m, err := core.NewModel(config.Base())
+	profiles := workload.UPProfiles()
+	cfgs := core.BreakdownConfigs(config.Base())
+	reports, err := runJobs(crossJobs(profiles, cfgs, opt), opt)
 	if err != nil {
 		return Result{}, err
 	}
 	var labels []string
 	var shares [][]float64
-	for _, p := range workload.UPProfiles() {
-		br, err := m.Breakdown(p, opt)
-		if err != nil {
-			return Result{}, err
-		}
+	for i, p := range profiles {
+		br := core.AssembleBreakdown(p.Name, reports[i*len(cfgs):(i+1)*len(cfgs)])
 		b := br.Breakdown
 		t.AddRow(p.Name, b.Core, b.Branch, b.IBSTLB, b.SX)
 		labels = append(labels, p.Name)
@@ -142,18 +205,16 @@ func Fig08(opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Issue width: 4-way vs 2-way",
 		"workload", "IPC 4w", "IPC 2w", "2w vs 4w %")
 	base := config.Base()
-	two := base.WithIssueWidth(2)
+	profiles := workload.UPProfiles()
+	reports, err := runJobs(crossJobs(profiles,
+		[]config.Config{base, base.WithIssueWidth(2)}, opt), opt)
+	if err != nil {
+		return Result{}, err
+	}
 	var labels []string
 	var deltas []float64
-	for _, p := range workload.UPProfiles() {
-		r4, err := run(base, p, opt)
-		if err != nil {
-			return Result{}, err
-		}
-		r2, err := run(two, p, opt)
-		if err != nil {
-			return Result{}, err
-		}
+	for i, p := range profiles {
+		r4, r2 := reports[2*i], reports[2*i+1]
 		d := stats.PercentDelta(r2.IPC(), r4.IPC())
 		t.AddRow(p.Name, r4.IPC(), r2.IPC(), d)
 		labels = append(labels, p.Name)
@@ -176,16 +237,14 @@ func Fig09and10(opt core.RunOptions) (Result, Result, error) {
 	fail := stats.NewTable("Branch prediction failures (mispredicts/branch)",
 		"workload", "16k-4w.2t", "4k-2w.1t", "increase %")
 	base := config.Base()
-	small := base.WithSmallBHT()
-	for _, p := range workload.UPProfiles() {
-		rb, err := run(base, p, opt)
-		if err != nil {
-			return Result{}, Result{}, err
-		}
-		rs, err := run(small, p, opt)
-		if err != nil {
-			return Result{}, Result{}, err
-		}
+	profiles := workload.UPProfiles()
+	reports, err := runJobs(crossJobs(profiles,
+		[]config.Config{base, base.WithSmallBHT()}, opt), opt)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	for i, p := range profiles {
+		rb, rs := reports[2*i], reports[2*i+1]
 		ipc.AddRow(p.Name, rb.IPC(), rs.IPC(), stats.PercentDelta(rs.IPC(), rb.IPC()))
 		fb, fs := rb.BranchFailureRate(), rs.BranchFailureRate()
 		fail.AddRow(p.Name, fb, fs, stats.PercentDelta(fs, fb))
@@ -208,16 +267,14 @@ func Fig11to13(opt core.RunOptions) (Result, Result, Result, error) {
 	dmiss := stats.NewTable("L1 operand cache miss ratio",
 		"workload", "128k-2w", "32k-1w", "increase %")
 	base := config.Base()
-	small := base.WithSmallL1()
-	for _, p := range workload.UPProfiles() {
-		rb, err := run(base, p, opt)
-		if err != nil {
-			return Result{}, Result{}, Result{}, err
-		}
-		rs, err := run(small, p, opt)
-		if err != nil {
-			return Result{}, Result{}, Result{}, err
-		}
+	profiles := workload.UPProfiles()
+	reports, err := runJobs(crossJobs(profiles,
+		[]config.Config{base, base.WithSmallL1()}, opt), opt)
+	if err != nil {
+		return Result{}, Result{}, Result{}, err
+	}
+	for i, p := range profiles {
+		rb, rs := reports[2*i], reports[2*i+1]
 		ipc.AddRow(p.Name, rb.IPC(), rs.IPC(), stats.PercentDelta(rs.IPC(), rb.IPC()))
 		imiss.AddRow(p.Name, rb.L1IMissRate(), rs.L1IMissRate(),
 			stats.PercentDelta(rs.L1IMissRate(), rb.L1IMissRate()))
@@ -246,35 +303,27 @@ func Fig14and15(opt core.RunOptions) (Result, Result, error) {
 		config.Base().WithOffChipL2(1),
 	}
 	profiles := workload.UPProfiles()
-	for _, p := range profiles {
-		var ipcs [3]float64
-		var misses [3]float64
-		for i, cfg := range configs {
-			r, err := run(cfg, p, opt)
-			if err != nil {
-				return Result{}, Result{}, err
-			}
-			ipcs[i] = r.IPC()
-			misses[i] = r.L2DemandMissRate()
-		}
-		ipc.AddRow(p.Name, stats.PercentDelta(ipcs[1], ipcs[0]), stats.PercentDelta(ipcs[2], ipcs[0]))
-		miss.AddRow(p.Name, misses[0], misses[1], misses[2])
-	}
-	// TPC-C (16P): the MP model.
+	jobs := crossJobs(profiles, configs, opt)
+	// TPC-C (16P): the MP model rides in the same batch.
 	p16 := workload.TPCC16P()
 	o16 := mpOpt(opt)
-	var ipcs [3]float64
-	var misses [3]float64
-	for i, cfg := range configs {
-		r, err := run(cfg.WithCPUs(16), p16, o16)
-		if err != nil {
-			return Result{}, Result{}, err
-		}
-		ipcs[i] = r.IPC()
-		misses[i] = r.L2DemandMissRate()
+	for _, cfg := range configs {
+		jobs = append(jobs, job{cfg: cfg.WithCPUs(16), p: p16, opt: o16})
 	}
-	ipc.AddRow(p16.Name, stats.PercentDelta(ipcs[1], ipcs[0]), stats.PercentDelta(ipcs[2], ipcs[0]))
-	miss.AddRow(p16.Name, misses[0], misses[1], misses[2])
+	reports, err := runJobs(jobs, opt)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	addRows := func(name string, rs []system.Report) {
+		ipc.AddRow(name, stats.PercentDelta(rs[1].IPC(), rs[0].IPC()),
+			stats.PercentDelta(rs[2].IPC(), rs[0].IPC()))
+		miss.AddRow(name, rs[0].L2DemandMissRate(), rs[1].L2DemandMissRate(),
+			rs[2].L2DemandMissRate())
+	}
+	for i, p := range profiles {
+		addRows(p.Name, reports[3*i:3*i+3])
+	}
+	addRows(p16.Name, reports[len(reports)-3:])
 
 	r14 := Result{ID: "Figure 14", Title: "L2 cache — latency vs volume", Table: ipc,
 		Notes: []string{"expected: off.8m-1w clearly loses on TPC-C (−12..−14%) despite 4x capacity;",
@@ -293,16 +342,14 @@ func Fig16and17(opt core.RunOptions) (Result, Result, error) {
 	miss := stats.NewTable("L2 miss ratio under prefetch",
 		"workload", "with", "with-Demand", "without")
 	base := config.Base()
-	nopf := base.WithoutPrefetch()
-	for _, p := range workload.UPProfiles() {
-		rw, err := run(base, p, opt)
-		if err != nil {
-			return Result{}, Result{}, err
-		}
-		ro, err := run(nopf, p, opt)
-		if err != nil {
-			return Result{}, Result{}, err
-		}
+	profiles := workload.UPProfiles()
+	reports, err := runJobs(crossJobs(profiles,
+		[]config.Config{base, base.WithoutPrefetch()}, opt), opt)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	for i, p := range profiles {
+		rw, ro := reports[2*i], reports[2*i+1]
 		ipc.AddRow(p.Name, rw.IPC(), ro.IPC(), stats.PercentDelta(rw.IPC(), ro.IPC()))
 		miss.AddRow(p.Name, rw.L2TotalMissRate(), rw.L2DemandMissRate(), ro.L2DemandMissRate())
 	}
@@ -321,17 +368,14 @@ func Fig16and17(opt core.RunOptions) (Result, Result, error) {
 func Fig18(opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Reservation stations: 2RS relative to 1RS",
 		"workload", "IPC 1RS", "IPC 2RS", "2RS vs 1RS %")
-	oneRS := config.Base().WithOneRS()
-	twoRS := config.Base()
-	for _, p := range workload.UPProfiles() {
-		r1, err := run(oneRS, p, opt)
-		if err != nil {
-			return Result{}, err
-		}
-		r2, err := run(twoRS, p, opt)
-		if err != nil {
-			return Result{}, err
-		}
+	profiles := workload.UPProfiles()
+	reports, err := runJobs(crossJobs(profiles,
+		[]config.Config{config.Base().WithOneRS(), config.Base()}, opt), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, p := range profiles {
+		r1, r2 := reports[2*i], reports[2*i+1]
 		t.AddRow(p.Name, r1.IPC(), r2.IPC(), stats.PercentDelta(r2.IPC(), r1.IPC()))
 	}
 	return Result{ID: "Figure 18", Title: "Reservation station — 1RS vs 2RS", Table: t,
@@ -342,14 +386,22 @@ func Fig18(opt core.RunOptions) (Result, error) {
 
 // Fig19 reproduces the model-accuracy study: version estimates relative
 // to the final model, and errors against the physical-machine proxy.
+// The two workloads' fidelity ladders run concurrently; each ladder's nine
+// simulations are themselves scheduled (verif.RunAccuracyStudy).
 func Fig19(opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Performance model accuracy (SPEC CPU2000 workloads)",
 		"version", "detail", "int2000 perf/v8", "int2000 err vs machine %", "fp2000 perf/v8", "fp2000 err vs machine %")
-	si, err := verif.RunAccuracyStudy(config.Base(), workload.SPECint2000(), opt)
-	if err != nil {
-		return Result{}, err
-	}
-	sf, err := verif.RunAccuracyStudy(config.Base(), workload.SPECfp2000(), opt)
+	var si, sf verif.AccuracyStudy
+	err := sched.Do(sched.Options{Workers: opt.Workers},
+		func() (err error) {
+			si, err = verif.RunAccuracyStudy(config.Base(), workload.SPECint2000(), opt)
+			return
+		},
+		func() (err error) {
+			sf, err = verif.RunAccuracyStudy(config.Base(), workload.SPECfp2000(), opt)
+			return
+		},
+	)
 	if err != nil {
 		return Result{}, err
 	}
@@ -366,57 +418,51 @@ func Fig19(opt core.RunOptions) (Result, error) {
 		}}, nil
 }
 
-// All runs every experiment in presentation order.
+// All runs every experiment in presentation order: the studies execute
+// concurrently on the scheduler (each study also schedules its own runs),
+// and results come back in the fixed presentation order with per-study
+// wall time stamped into Result.Elapsed.
 func All(opt core.RunOptions) ([]Result, error) {
-	out := []Result{Table1()}
-	add := func(rs ...Result) { out = append(out, rs...) }
-	r7, err := Fig07(opt)
-	if err != nil {
-		return out, err
+	studies := []func(core.RunOptions) ([]Result, error){
+		func(core.RunOptions) ([]Result, error) { return []Result{Table1()}, nil },
+		func(o core.RunOptions) ([]Result, error) { r, err := Fig07(o); return []Result{r}, err },
+		func(o core.RunOptions) ([]Result, error) { r, err := Fig08(o); return []Result{r}, err },
+		func(o core.RunOptions) ([]Result, error) {
+			a, b, err := Fig09and10(o)
+			return []Result{a, b}, err
+		},
+		func(o core.RunOptions) ([]Result, error) {
+			a, b, c, err := Fig11to13(o)
+			return []Result{a, b, c}, err
+		},
+		func(o core.RunOptions) ([]Result, error) {
+			a, b, err := Fig14and15(o)
+			return []Result{a, b}, err
+		},
+		func(o core.RunOptions) ([]Result, error) {
+			a, b, err := Fig16and17(o)
+			return []Result{a, b}, err
+		},
+		func(o core.RunOptions) ([]Result, error) { r, err := Fig18(o); return []Result{r}, err },
+		func(o core.RunOptions) ([]Result, error) { r, err := Fig19(o); return []Result{r}, err },
+		func(o core.RunOptions) ([]Result, error) { r, err := HPCStudy(o); return []Result{r}, err },
+		func(o core.RunOptions) ([]Result, error) { return []Result{ModelSpeed(o)}, nil },
 	}
-	add(r7)
-	r8, err := Fig08(opt)
-	if err != nil {
-		return out, err
+	groups, err := sched.Map(len(studies), sched.Options{Workers: opt.Workers},
+		func(i int) ([]Result, error) {
+			start := timeNow()
+			rs, err := studies[i](opt)
+			elapsed := timeNow().Sub(start)
+			for j := range rs {
+				rs[j].Elapsed = elapsed
+			}
+			return rs, err
+		})
+	var out []Result
+	for _, g := range groups {
+		out = append(out, g...)
 	}
-	add(r8)
-	r9, r10, err := Fig09and10(opt)
-	if err != nil {
-		return out, err
-	}
-	add(r9, r10)
-	r11, r12, r13, err := Fig11to13(opt)
-	if err != nil {
-		return out, err
-	}
-	add(r11, r12, r13)
-	r14, r15, err := Fig14and15(opt)
-	if err != nil {
-		return out, err
-	}
-	add(r14, r15)
-	r16, r17, err := Fig16and17(opt)
-	if err != nil {
-		return out, err
-	}
-	add(r16, r17)
-	r18, err := Fig18(opt)
-	if err != nil {
-		return out, err
-	}
-	add(r18)
-	r19, err := Fig19(opt)
-	if err != nil {
-		return out, err
-	}
-	add(r19)
-	hpc, err := HPCStudy(opt)
-	if err != nil {
-		return out, err
-	}
-	add(hpc)
-	add(ModelSpeed())
-	return out, nil
+	return out, err
 }
 
 // HPCStudy is an extension experiment (not a paper figure): it quantifies
@@ -436,20 +482,21 @@ func HPCStudy(opt core.RunOptions) (Result, error) {
 		{"no speculative dispatch", func(c *config.Config) { c.CPU.SpeculativeDispatch = false }},
 		{"no data forwarding", func(c *config.Config) { c.CPU.DataForwarding = false }},
 	}
-	var base float64
+	jobs := make([]job, len(variants))
 	for i, v := range variants {
 		cfg := config.Base()
 		if v.mutate != nil {
 			v.mutate(&cfg)
 		}
-		r, err := run(cfg, kernel, opt)
-		if err != nil {
-			return Result{}, err
-		}
-		if i == 0 {
-			base = r.IPC()
-		}
-		t.AddRow(v.name, r.IPC(), stats.PercentDelta(r.IPC(), base))
+		jobs[i] = job{cfg: cfg, p: kernel, opt: opt}
+	}
+	reports, err := runJobs(jobs, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	base := reports[0].IPC()
+	for i, v := range variants {
+		t.AddRow(v.name, reports[i].IPC(), stats.PercentDelta(reports[i].IPC(), base))
 	}
 	return Result{ID: "Extension", Title: "HPC: dual multiply-add units", Table: t,
 		Notes: []string{"the paper: \"having two sets of floating-point multiply-add execution",
@@ -458,22 +505,48 @@ func HPCStudy(opt core.RunOptions) (Result, error) {
 
 // ModelSpeed measures the simulator's own throughput — the modern
 // counterpart of the paper's "7.8K instructions per second on a 1-GHz
-// Pentium III" quote for their C model.
-func ModelSpeed() Result {
+// Pentium III" quote for their C model. Per-workload rows are measured
+// serially (single-thread model speed); the final row runs every
+// uniprocessor workload concurrently through the scheduler and reports
+// effective aggregate throughput, the number that governs sweep turnaround
+// on a multicore host.
+func ModelSpeed(opt core.RunOptions) Result {
 	t := stats.NewTable("Performance-model execution speed (this host)",
 		"workload", "simulated instrs/second")
-	for _, p := range []workload.Profile{workload.SPECint95(), workload.TPCC()} {
+	const insts = 200_000
+	speedRun := func(p workload.Profile) (uint64, error) {
 		m, err := core.NewModel(config.Base())
 		if err != nil {
-			continue
+			return 0, err
 		}
+		r, err := m.Run(p, core.RunOptions{Insts: insts})
+		if err != nil {
+			return 0, err
+		}
+		return r.Committed + uint64(insts/5), nil
+	}
+	for _, p := range []workload.Profile{workload.SPECint95(), workload.TPCC()} {
 		start := timeNow()
-		r, err := m.Run(p, core.RunOptions{Insts: 200_000})
+		done, err := speedRun(p)
 		if err != nil {
 			continue
 		}
 		sec := timeNow().Sub(start).Seconds()
-		t.AddRow(p.Name, float64(r.Committed+uint64(200_000/5))/sec)
+		t.AddRow(p.Name, float64(done)/sec)
+	}
+	// Aggregate: the five UP workloads in one scheduled batch.
+	profiles := workload.UPProfiles()
+	start := timeNow()
+	counts, err := sched.Map(len(profiles), sched.Options{Workers: opt.Workers},
+		func(i int) (uint64, error) { return speedRun(profiles[i]) })
+	if err == nil {
+		var total uint64
+		for _, n := range counts {
+			total += n
+		}
+		sec := timeNow().Sub(start).Seconds()
+		t.AddRow(fmt.Sprintf("all 5 workloads, %d workers", sched.Workers(opt.Workers)),
+			float64(total)/sec)
 	}
 	return Result{ID: "Section 2.1", Title: "Model speed", Table: t,
 		Notes: []string{"the paper's model ran at 7.8K instr/s on a 1-GHz Pentium III"}}

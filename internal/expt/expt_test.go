@@ -143,8 +143,12 @@ func TestHPCStudy(t *testing.T) {
 }
 
 func TestModelSpeed(t *testing.T) {
-	r := ModelSpeed()
-	if r.Table.Rows() != 2 {
+	r := ModelSpeed(testOpt())
+	// Two per-workload rows plus the scheduled-aggregate row.
+	if r.Table.Rows() != 3 {
 		t.Fatalf("rows: %d", r.Table.Rows())
+	}
+	if !strings.Contains(r.Table.String(), "workers") {
+		t.Error("ModelSpeed missing the aggregate-throughput row")
 	}
 }

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		out, err := Map(50, Options{Workers: workers}, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapFirstError(t *testing.T) {
+	err3 := errors.New("three")
+	err7 := errors.New("seven")
+	ran := make([]atomic.Bool, 10)
+	_, err := Map(10, Options{Workers: 4}, func(i int) (int, error) {
+		ran[i].Store(true)
+		switch i {
+		case 7:
+			return 0, err7
+		case 3:
+			return 0, err3
+		}
+		return i, nil
+	})
+	if err != err3 {
+		t.Fatalf("want lowest-index error %v, got %v", err3, err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("job %d did not run", i)
+		}
+	}
+}
+
+func TestMapAllPerJobErrors(t *testing.T) {
+	out, errs := MapAll(6, Options{Workers: 3}, func(i int) (string, error) {
+		if i%2 == 1 {
+			return "", fmt.Errorf("odd %d", i)
+		}
+		return fmt.Sprintf("ok%d", i), nil
+	})
+	for i := 0; i < 6; i++ {
+		if i%2 == 1 {
+			if errs[i] == nil || out[i] != "" {
+				t.Fatalf("job %d: out=%q errs=%v", i, out[i], errs[i])
+			}
+		} else if errs[i] != nil || out[i] != fmt.Sprintf("ok%d", i) {
+			t.Fatalf("job %d: out=%q errs=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	gate := make(chan struct{})
+	var once sync.Once
+	_, err := Map(24, Options{Workers: workers}, func(i int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		// Force overlap so the peak is meaningful on multicore hosts; on a
+		// single-CPU host the bound still must never be exceeded.
+		once.Do(func() { close(gate) })
+		<-gate
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, workers)
+	}
+}
+
+func TestOnDoneCoversEveryJob(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]error{}
+	wantErr := errors.New("e")
+	_, _ = Map(12, Options{
+		Workers: 4,
+		OnDone: func(i int, err error) {
+			mu.Lock()
+			seen[i] = err
+			mu.Unlock()
+		},
+	}, func(i int) (int, error) {
+		if i == 5 {
+			return 0, wantErr
+		}
+		return i, nil
+	})
+	if len(seen) != 12 {
+		t.Fatalf("OnDone saw %d jobs, want 12", len(seen))
+	}
+	if seen[5] != wantErr {
+		t.Fatalf("OnDone error for job 5 = %v", seen[5])
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("default must be at least 1")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do(Options{Workers: 2},
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("Do: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+	want := errors.New("x")
+	if err := Do(Options{}, func() error { return want }); err != want {
+		t.Fatalf("Do error = %v", err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	out, err := Map(0, Options{}, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
+	"sparc64v/internal/sched"
 	"sparc64v/internal/stats"
 	"sparc64v/internal/trace"
 	"sparc64v/internal/workload"
@@ -64,32 +65,35 @@ func PhysicalMachineProxy(cfg config.Config) config.Config {
 }
 
 // RunAccuracyStudy runs every model version and the machine proxy on the
-// workload and assembles the Figure 19 series.
+// workload and assembles the Figure 19 series. The machine proxy and the
+// eight versions are independent simulations and execute on the scheduler.
 func RunAccuracyStudy(base config.Config, p workload.Profile, opt core.RunOptions) (AccuracyStudy, error) {
 	study := AccuracyStudy{Workload: p.Name}
-	machine, err := core.NewModel(PhysicalMachineProxy(base))
-	if err != nil {
-		return study, err
-	}
-	mr, err := machine.Run(p, opt)
-	if err != nil {
-		return study, err
-	}
-	study.MachineIPC = mr.IPC()
-
 	versions := core.Versions()
-	ipcs := make([]float64, len(versions))
-	for i, v := range versions {
-		m, err := core.NewModel(v.Apply(base))
-		if err != nil {
-			return study, err
-		}
-		r, err := m.Run(p, opt)
-		if err != nil {
-			return study, fmt.Errorf("%s: %w", v.Name, err)
-		}
-		ipcs[i] = r.IPC()
+	cfgs := []config.Config{PhysicalMachineProxy(base)}
+	for _, v := range versions {
+		cfgs = append(cfgs, v.Apply(base))
 	}
+	all, err := sched.Map(len(cfgs), sched.Options{Workers: opt.Workers},
+		func(i int) (float64, error) {
+			m, err := core.NewModel(cfgs[i])
+			if err != nil {
+				return 0, err
+			}
+			r, err := m.Run(p, opt)
+			if err != nil {
+				if i > 0 {
+					return 0, fmt.Errorf("%s: %w", versions[i-1].Name, err)
+				}
+				return 0, err
+			}
+			return r.IPC(), nil
+		})
+	if err != nil {
+		return study, err
+	}
+	study.MachineIPC = all[0]
+	ipcs := all[1:]
 	final := ipcs[len(ipcs)-1]
 	for i, v := range versions {
 		study.Points = append(study.Points, VersionPoint{
@@ -142,16 +146,6 @@ func RunTrendCheck(change string, base, variant config.Config, p workload.Profil
 		}
 		return r.IPC(), nil
 	}
-	b, err := run(base)
-	if err != nil {
-		return tc, err
-	}
-	v, err := run(variant)
-	if err != nil {
-		return tc, err
-	}
-	tc.ModelDelta = (v - b) / b
-
 	refRun := func(cfg config.Config) float64 {
 		rf := NewReference(cfg)
 		n := opt.Insts
@@ -161,8 +155,18 @@ func RunTrendCheck(change string, base, variant config.Config, p workload.Profil
 		rf.Run(trace.NewLimitSource(workload.New(p, opt.Seed, 0), n))
 		return 1 / rf.CPI()
 	}
-	rb := refRun(base)
-	rv := refRun(variant)
+	// Both models on both configurations: four independent simulations.
+	var b, v, rb, rv float64
+	err := sched.Do(sched.Options{Workers: opt.Workers},
+		func() (err error) { b, err = run(base); return },
+		func() (err error) { v, err = run(variant); return },
+		func() error { rb = refRun(base); return nil },
+		func() error { rv = refRun(variant); return nil },
+	)
+	if err != nil {
+		return tc, err
+	}
+	tc.ModelDelta = (v - b) / b
 	tc.ReferenceDelta = (rv - rb) / rb
 	return tc, nil
 }
