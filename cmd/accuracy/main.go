@@ -11,12 +11,20 @@
 // Example:
 //
 //	accuracy -workload specint2000 -insts 300000
+//
+// Run lifecycle: -timeout bounds the whole workflow and SIGINT (Ctrl-C)
+// cancels it cooperatively; sections that already printed stand, the
+// section in flight reports the cancellation, and the process exits
+// non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sparc64v/internal/config"
@@ -34,11 +42,19 @@ func main() {
 		seed         = flag.Int64("seed", 42, "workload seed")
 		parallel     = flag.Bool("parallel", true, "run independent simulations concurrently")
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 0, "abort the workflow after this long (0 = no limit)")
 	)
 	flag.Parse()
 	prof, ok := profileByName(*workloadName)
 	if !ok {
 		fatal("unknown workload %q", *workloadName)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
@@ -47,9 +63,9 @@ func main() {
 	base := config.Base()
 
 	// 1. Fidelity ladder.
-	study, err := verif.RunAccuracyStudy(base, prof, opt)
+	study, err := verif.RunAccuracyStudyContext(ctx, base, prof, opt)
 	if err != nil {
-		fatal("%v", err)
+		fatalCtx(err)
 	}
 	t := stats.NewTable(fmt.Sprintf("Model versions on %s (machine proxy IPC %.3f)",
 		prof.Name, study.MachineIPC),
@@ -70,9 +86,9 @@ func main() {
 		{"off.8m-1w L2", base.WithOffChipL2(1)},
 		{"4k-2w.1t BHT", base.WithSmallBHT()},
 	} {
-		tc, err := verif.RunTrendCheck(c.name, base, c.variant, prof, opt)
+		tc, err := verif.RunTrendCheckContext(ctx, c.name, base, c.variant, prof, opt)
 		if err != nil {
-			fatal("%v", err)
+			fatalCtx(err)
 		}
 		verdict := "AGREE"
 		if !tc.Agree() {
@@ -94,13 +110,13 @@ func main() {
 		fatal("%v", err)
 	}
 	ro := core.RunOptions{Insts: len(recs), Seed: *seed, Warmup: 1}
-	r1, err := m.RunSources("trace", []trace.Source{trace.NewSliceSource(recs)}, ro)
+	r1, err := m.RunSourcesContext(ctx, "trace", []trace.Source{trace.NewSliceSource(recs)}, ro)
 	if err != nil {
-		fatal("%v", err)
+		fatalCtx(err)
 	}
-	r2, err := m.RunSources("replay", []trace.Source{prog.Replay()}, ro)
+	r2, err := m.RunSourcesContext(ctx, "replay", []trace.Source{prog.Replay()}, ro)
 	if err != nil {
-		fatal("%v", err)
+		fatalCtx(err)
 	}
 	fmt.Printf("Reverse tracer: %d dynamic instrs -> %d static; trace %d cycles, replay %d cycles",
 		prog.Len(), prog.StaticInstrs(), r1.Cycles, r2.Cycles)
@@ -131,4 +147,17 @@ func profileByName(name string) (workload.Profile, bool) {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "accuracy: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalCtx distinguishes a cooperative cancellation (timeout or Ctrl-C)
+// from a genuine failure; sections printed before the cancellation stand.
+func fatalCtx(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fatal("timed out: %v (completed sections rendered above)", err)
+	case errors.Is(err, context.Canceled):
+		fatal("interrupted: %v (completed sections rendered above)", err)
+	default:
+		fatal("%v", err)
+	}
 }

@@ -9,15 +9,24 @@
 // instructions/second — the modern counterpart of the paper's "7.8K
 // instructions per second on a 1-GHz Pentium III" model-speed quote.
 //
+// Run lifecycle: -timeout bounds the whole sweep, and SIGINT (Ctrl-C)
+// cancels it cooperatively. Either way every study that finished before
+// the cancellation still renders; studies that didn't are marked
+// "(incomplete)" in their presentation slot, and the process exits
+// non-zero.
+//
 // Example:
 //
 //	sweep -insts 1000000 -markdown > EXPERIMENTS.md
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"sparc64v/internal/core"
@@ -32,8 +41,17 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 		parallel = flag.Bool("parallel", true, "run independent simulations concurrently")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
@@ -41,12 +59,10 @@ func main() {
 	}
 	expt.MeterReset()
 	t0 := time.Now()
-	results, err := expt.All(opt)
+	results, err := expt.AllContext(ctx, opt)
 	wall := time.Since(t0)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
-	}
+	// Completed studies render even when the sweep was cut short; the
+	// missing ones carry "(incomplete)" markers from AllContext.
 	if *markdown {
 		fmt.Printf("# EXPERIMENTS — paper vs. reproduced\n\n")
 		fmt.Printf("Regenerated with `go run ./cmd/sweep -insts %d -markdown` ", *insts)
@@ -74,6 +90,17 @@ func main() {
 		}
 	}
 	summarize(results, wall, sched.Workers(opt.Workers))
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "sweep: timed out after %s (completed studies rendered above)\n", *timeout)
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "sweep: interrupted (completed studies rendered above)")
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		}
+		os.Exit(1)
+	}
 }
 
 // summarize prints the per-study wall times and the sweep's effective

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"sparc64v/internal/config"
+	"sparc64v/internal/isa"
 )
 
 type entry struct {
@@ -241,7 +242,7 @@ func (p *Predictor) Conditional(pc uint64, taken bool, target uint64) Outcome {
 // and the return address is pushed for the matching Return.
 func (p *Predictor) Call(pc uint64) Outcome {
 	p.Stats.Calls++
-	p.ras.Push(pc + 4)
+	p.ras.Push(pc + isa.InstrBytes)
 	return Outcome{TakenBubbles: p.bht.AccessCycles()}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"sparc64v/internal/config"
+	"sparc64v/internal/isa"
 )
 
 func smallGeo() config.BHTGeometry {
@@ -262,5 +263,48 @@ func BenchmarkPredictor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pc := pcs[i%len(pcs)]
 		p.Conditional(pc, i%3 != 0, pc+400)
+	}
+}
+
+// TestCallReturnRoundTrip: the address Call pushes must be exactly what a
+// matched Return pops — pc advanced by the architectural instruction size
+// (a literal "pc + 4" here once drifted from isa.InstrBytes).
+func TestCallReturnRoundTrip(t *testing.T) {
+	p := NewPredictor(smallGeo(), 8)
+	// Nested calls, then returns in LIFO order: none may mispredict.
+	pcs := []uint64{0x1000, 0x2040, 0x3080, 0x40c0}
+	for _, pc := range pcs {
+		p.Call(pc)
+	}
+	for i := len(pcs) - 1; i >= 0; i-- {
+		out := p.Return(pcs[i] + isa.InstrBytes)
+		if out.Mispredict {
+			t.Fatalf("matched return from call at %#x mispredicted", pcs[i])
+		}
+	}
+	if p.Stats.ReturnMispredicts != 0 {
+		t.Fatalf("ReturnMispredicts = %d after matched call/return pairs",
+			p.Stats.ReturnMispredicts)
+	}
+	// A return to anywhere other than call PC + InstrBytes must mispredict.
+	p.Call(0x5000)
+	if out := p.Return(0x5000 + 2*isa.InstrBytes); !out.Mispredict {
+		t.Fatal("mismatched return target predicted as correct")
+	}
+}
+
+// TestRASOverflowWraps: pushing past capacity keeps the newest entries (the
+// stack wraps), so the deepest frames mispredict but recent ones survive.
+func TestRASOverflowWraps(t *testing.T) {
+	const depth = 8
+	p := NewPredictor(smallGeo(), depth)
+	for i := 0; i < depth+3; i++ {
+		p.Call(uint64(0x1000 + 0x100*i))
+	}
+	// The most recent depth calls predict correctly in LIFO order.
+	for i := depth + 2; i >= 3; i-- {
+		if out := p.Return(uint64(0x1000+0x100*i) + isa.InstrBytes); out.Mispredict {
+			t.Fatalf("recent frame %d mispredicted after wrap", i)
+		}
 	}
 }

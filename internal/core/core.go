@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -74,17 +75,31 @@ func (o *RunOptions) defaults() {
 // configurations one trace per CPU is generated (sharing the profile's
 // Shared region).
 func (m *Model) Run(p workload.Profile, opt RunOptions) (system.Report, error) {
+	return m.RunContext(context.Background(), p, opt)
+}
+
+// RunContext is Run with a cancellation point: the simulation polls ctx on
+// a coarse cycle stride (system.RunContext) and returns a partial report
+// wrapped around ctx.Err() when cancelled mid-run.
+func (m *Model) RunContext(ctx context.Context, p workload.Profile, opt RunOptions) (system.Report, error) {
 	opt.defaults()
 	gens := workload.NewMP(p, opt.Seed, m.cfg.CPUs)
 	srcs := make([]trace.Source, len(gens))
 	for i, g := range gens {
 		srcs[i] = trace.NewLimitSource(g, opt.Insts)
 	}
-	return m.RunSources(p.Name, srcs, opt)
+	return m.RunSourcesContext(ctx, p.Name, srcs, opt)
 }
 
 // RunSources simulates explicit trace sources (e.g. trace files).
 func (m *Model) RunSources(label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
+	return m.RunSourcesContext(context.Background(), label, srcs, opt)
+}
+
+// RunSourcesContext is RunSources with a cancellation point. On
+// cancellation it returns the partial report alongside an error wrapping
+// ctx.Err().
+func (m *Model) RunSourcesContext(ctx context.Context, label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
 	opt.defaults()
 	cfg := m.cfg
 	cfg.WarmupInsts = opt.Warmup
@@ -92,9 +107,12 @@ func (m *Model) RunSources(label string, srcs []trace.Source, opt RunOptions) (s
 	if err != nil {
 		return system.Report{}, err
 	}
-	_, capped := sys.Run(opt.MaxCycles)
+	_, capped, cerr := sys.RunContext(ctx, opt.MaxCycles)
 	r := sys.Report(label)
 	r.HitCap = capped
+	if cerr != nil {
+		return r, fmt.Errorf("core: %s/%s cancelled: %w", m.cfg.Name, label, cerr)
+	}
 	if capped {
 		return r, fmt.Errorf("core: %s/%s hit the %d-cycle cap", m.cfg.Name, label, opt.MaxCycles)
 	}
@@ -141,14 +159,20 @@ func AssembleBreakdown(workload string, reports []system.Report) BreakdownResult
 // Breakdown runs the four-model perfect-ization study on one workload.
 // The four runs are independent and execute on the scheduler.
 func (m *Model) Breakdown(p workload.Profile, opt RunOptions) (BreakdownResult, error) {
+	return m.BreakdownContext(context.Background(), p, opt)
+}
+
+// BreakdownContext is Breakdown with a cancellation point shared by all
+// four scheduled runs.
+func (m *Model) BreakdownContext(ctx context.Context, p workload.Profile, opt RunOptions) (BreakdownResult, error) {
 	cfgs := BreakdownConfigs(m.cfg)
-	reports, err := sched.Map(len(cfgs), sched.Options{Workers: opt.Workers},
-		func(i int) (system.Report, error) {
+	reports, err := sched.MapCtx(ctx, len(cfgs), sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (system.Report, error) {
 			sub, err := NewModel(cfgs[i])
 			if err != nil {
 				return system.Report{}, err
 			}
-			return sub.Run(p, opt)
+			return sub.RunContext(ctx, p, opt)
 		})
 	if err != nil {
 		return BreakdownResult{Workload: p.Name}, err
@@ -218,16 +242,22 @@ type Aggregate struct {
 // The seeds are independent samples and execute on the scheduler; reports
 // stay in seed order regardless of completion order.
 func (m *Model) RunMany(p workload.Profile, opt RunOptions, n int) (Aggregate, error) {
+	return m.RunManyContext(context.Background(), p, opt, n)
+}
+
+// RunManyContext is RunMany with a cancellation point shared by all
+// scheduled seeds.
+func (m *Model) RunManyContext(ctx context.Context, p workload.Profile, opt RunOptions, n int) (Aggregate, error) {
 	if n < 1 {
 		n = 1
 	}
 	opt.defaults()
 	var agg Aggregate
-	reports, err := sched.Map(n, sched.Options{Workers: opt.Workers},
-		func(i int) (system.Report, error) {
+	reports, err := sched.MapCtx(ctx, n, sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (system.Report, error) {
 			o := opt
 			o.Seed = opt.Seed + int64(i)
-			return m.Run(p, o)
+			return m.RunContext(ctx, p, o)
 		})
 	if err != nil {
 		return agg, err

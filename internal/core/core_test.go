@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/trace"
@@ -183,5 +186,56 @@ func TestRunMany(t *testing.T) {
 	one, err := m.RunMany(workload.SPECint95(), RunOptions{Insts: 20_000}, 0)
 	if err != nil || len(one.Reports) != 1 || one.StdIPC != 0 {
 		t.Fatalf("clamped RunMany: %v %d", err, len(one.Reports))
+	}
+}
+
+// TestRunContextCancelPrompt is the model-level half of the run-lifecycle
+// contract: cancelling mid-run surfaces ctx.Err() (wrapped) promptly
+// instead of simulating to completion.
+func TestRunContextCancelPrompt(t *testing.T) {
+	m, _ := NewModel(config.Base())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// A run long enough that completion inside the test timeout would be
+	// implausible on any host.
+	_, err := m.RunContext(ctx, workload.SPECint95(), RunOptions{Insts: 200_000_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want wrapped context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+// TestRunManyContextCancelled verifies the scheduled-seed fan-out stops
+// handing out seeds once the context fires.
+func TestRunManyContextCancelled(t *testing.T) {
+	m, _ := NewModel(config.Base())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.RunManyContext(ctx, workload.SPECint95(), RunOptions{Insts: 40_000, Workers: 2}, 6)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunManyContext err = %v", err)
+	}
+}
+
+// TestBreakdownContextMatchesBreakdown guards determinism of the ctx
+// variant when the context never fires.
+func TestBreakdownContextMatchesBreakdown(t *testing.T) {
+	m, _ := NewModel(config.Base())
+	a, err := m.Breakdown(workload.SPECint95(), testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.BreakdownContext(context.Background(), workload.SPECint95(), testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Breakdown != b.Breakdown {
+		t.Fatalf("Breakdown %+v vs BreakdownContext %+v", a.Breakdown, b.Breakdown)
 	}
 }

@@ -546,6 +546,37 @@ func TestRASOverflowMispredicts(t *testing.T) {
 	}
 }
 
+// Matched call/return pairs within the RAS depth must never mispredict:
+// the fetch stage pushes call PC + isa.InstrBytes and the trace's return
+// EA points exactly there. This pins the push/pop round trip end to end
+// through the pipeline, not just at the predictor API.
+func TestRASCallReturnRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.Perfect.Branch = false
+	var recs []trace.Record
+	const depth = 6 // within the 8-entry RAS
+	for rep := 0; rep < 50; rep++ {
+		for d := 0; d < depth; d++ {
+			pc := uint64(0x1000 + 16*d)
+			recs = append(recs, trace.Record{PC: pc, Op: isa.Call, Taken: true,
+				EA: pc + 16, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		}
+		for d := depth - 1; d >= 0; d-- {
+			pc := uint64(0x1000 + 16*depth + 16*(depth-1-d))
+			recs = append(recs, trace.Record{PC: pc, Op: isa.Return, Taken: true,
+				EA:  uint64(0x1000+16*d) + isa.InstrBytes,
+				Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		}
+	}
+	c := runTrace(t, cfg, recs)
+	if c.pred.Stats.Returns == 0 {
+		t.Fatal("no returns reached the predictor")
+	}
+	if n := c.pred.Stats.ReturnMispredicts; n != 0 {
+		t.Fatalf("%d/%d matched returns mispredicted", n, c.pred.Stats.Returns)
+	}
+}
+
 // The 32-entry integer rename bound must be the limiting stall on a window
 // full of long-latency int producers.
 func TestRenameLimit(t *testing.T) {

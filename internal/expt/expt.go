@@ -13,6 +13,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -76,12 +77,12 @@ func MeterReset() { meterInstrs.Store(0); meterRuns.Store(0) }
 func Meter() (instrs, runs uint64) { return meterInstrs.Load(), meterRuns.Load() }
 
 // run executes one workload on one configuration.
-func run(cfg config.Config, p workload.Profile, opt core.RunOptions) (system.Report, error) {
+func run(ctx context.Context, cfg config.Config, p workload.Profile, opt core.RunOptions) (system.Report, error) {
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		return system.Report{}, err
 	}
-	r, err := m.Run(p, opt)
+	r, err := m.RunContext(ctx, p, opt)
 	meterInstrs.Add(r.Committed)
 	meterRuns.Add(1)
 	return r, err
@@ -96,10 +97,10 @@ type job struct {
 
 // runJobs executes a study's simulations on the scheduler and returns the
 // reports in submission order.
-func runJobs(jobs []job, opt core.RunOptions) ([]system.Report, error) {
-	return sched.Map(len(jobs), sched.Options{Workers: opt.Workers},
-		func(i int) (system.Report, error) {
-			return run(jobs[i].cfg, jobs[i].p, jobs[i].opt)
+func runJobs(ctx context.Context, jobs []job, opt core.RunOptions) ([]system.Report, error) {
+	return sched.MapCtx(ctx, len(jobs), sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (system.Report, error) {
+			return run(ctx, jobs[i].cfg, jobs[i].p, jobs[i].opt)
 		})
 }
 
@@ -169,11 +170,16 @@ func Table1() Result {
 // The study is 5 workloads x 4 perfect-ization rungs = 20 independent
 // simulations, flattened onto one scheduler batch.
 func Fig07(opt core.RunOptions) (Result, error) {
+	return Fig07Ctx(context.Background(), opt)
+}
+
+// Fig07Ctx is Fig07 with a cancellation point.
+func Fig07Ctx(ctx context.Context, opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Execution time breakdown (fraction of cycles)",
 		"workload", "core", "branch", "ibs/tlb", "sx")
 	profiles := workload.UPProfiles()
 	cfgs := core.BreakdownConfigs(config.Base())
-	reports, err := runJobs(crossJobs(profiles, cfgs, opt), opt)
+	reports, err := runJobs(ctx, crossJobs(profiles, cfgs, opt), opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -202,11 +208,16 @@ func Fig07(opt core.RunOptions) (Result, error) {
 
 // Fig08 reproduces the issue-width study: 4-way vs 2-way IPC.
 func Fig08(opt core.RunOptions) (Result, error) {
+	return Fig08Ctx(context.Background(), opt)
+}
+
+// Fig08Ctx is Fig08 with a cancellation point.
+func Fig08Ctx(ctx context.Context, opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Issue width: 4-way vs 2-way",
 		"workload", "IPC 4w", "IPC 2w", "2w vs 4w %")
 	base := config.Base()
 	profiles := workload.UPProfiles()
-	reports, err := runJobs(crossJobs(profiles,
+	reports, err := runJobs(ctx, crossJobs(profiles,
 		[]config.Config{base, base.WithIssueWidth(2)}, opt), opt)
 	if err != nil {
 		return Result{}, err
@@ -232,13 +243,18 @@ func Fig08(opt core.RunOptions) (Result, error) {
 // Fig09and10 reproduces the BHT geometry study: IPC and prediction
 // failure rates for 16k-4w.2t vs 4k-2w.1t.
 func Fig09and10(opt core.RunOptions) (Result, Result, error) {
+	return Fig09and10Ctx(context.Background(), opt)
+}
+
+// Fig09and10Ctx is Fig09and10 with a cancellation point.
+func Fig09and10Ctx(ctx context.Context, opt core.RunOptions) (Result, Result, error) {
 	ipc := stats.NewTable("BHT geometry: IPC",
 		"workload", "IPC 16k-4w.2t", "IPC 4k-2w.1t", "4k vs 16k %")
 	fail := stats.NewTable("Branch prediction failures (mispredicts/branch)",
 		"workload", "16k-4w.2t", "4k-2w.1t", "increase %")
 	base := config.Base()
 	profiles := workload.UPProfiles()
-	reports, err := runJobs(crossJobs(profiles,
+	reports, err := runJobs(ctx, crossJobs(profiles,
 		[]config.Config{base, base.WithSmallBHT()}, opt), opt)
 	if err != nil {
 		return Result{}, Result{}, err
@@ -260,6 +276,11 @@ func Fig09and10(opt core.RunOptions) (Result, Result, error) {
 // Fig11to13 reproduces the L1 geometry study: IPC and I/D miss ratios for
 // 128k-2w.4c vs 32k-1w.3c.
 func Fig11to13(opt core.RunOptions) (Result, Result, Result, error) {
+	return Fig11to13Ctx(context.Background(), opt)
+}
+
+// Fig11to13Ctx is Fig11to13 with a cancellation point.
+func Fig11to13Ctx(ctx context.Context, opt core.RunOptions) (Result, Result, Result, error) {
 	ipc := stats.NewTable("L1 geometry: IPC",
 		"workload", "IPC 128k-2w.4c", "IPC 32k-1w.3c", "32k vs 128k %")
 	imiss := stats.NewTable("L1 instruction cache miss ratio",
@@ -268,7 +289,7 @@ func Fig11to13(opt core.RunOptions) (Result, Result, Result, error) {
 		"workload", "128k-2w", "32k-1w", "increase %")
 	base := config.Base()
 	profiles := workload.UPProfiles()
-	reports, err := runJobs(crossJobs(profiles,
+	reports, err := runJobs(ctx, crossJobs(profiles,
 		[]config.Config{base, base.WithSmallL1()}, opt), opt)
 	if err != nil {
 		return Result{}, Result{}, Result{}, err
@@ -293,6 +314,11 @@ func Fig11to13(opt core.RunOptions) (Result, Result, Result, error) {
 // Fig14and15 reproduces the L2 study: on-chip 2MB 4-way vs off-chip 8MB
 // 2-way and direct-mapped, including the TPC-C 16-processor SMP model.
 func Fig14and15(opt core.RunOptions) (Result, Result, error) {
+	return Fig14and15Ctx(context.Background(), opt)
+}
+
+// Fig14and15Ctx is Fig14and15 with a cancellation point.
+func Fig14and15Ctx(ctx context.Context, opt core.RunOptions) (Result, Result, error) {
 	ipc := stats.NewTable("L2 geometry: IPC relative to on.2m-4w (%)",
 		"workload", "off.8m-2w %", "off.8m-1w %")
 	miss := stats.NewTable("L2 cache miss ratio (demand)",
@@ -310,7 +336,7 @@ func Fig14and15(opt core.RunOptions) (Result, Result, error) {
 	for _, cfg := range configs {
 		jobs = append(jobs, job{cfg: cfg.WithCPUs(16), p: p16, opt: o16})
 	}
-	reports, err := runJobs(jobs, opt)
+	reports, err := runJobs(ctx, jobs, opt)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
@@ -337,13 +363,18 @@ func Fig14and15(opt core.RunOptions) (Result, Result, error) {
 
 // Fig16and17 reproduces the hardware prefetch study.
 func Fig16and17(opt core.RunOptions) (Result, Result, error) {
+	return Fig16and17Ctx(context.Background(), opt)
+}
+
+// Fig16and17Ctx is Fig16and17 with a cancellation point.
+func Fig16and17Ctx(ctx context.Context, opt core.RunOptions) (Result, Result, error) {
 	ipc := stats.NewTable("Hardware prefetch: IPC impact",
 		"workload", "IPC with", "IPC without", "gain %")
 	miss := stats.NewTable("L2 miss ratio under prefetch",
 		"workload", "with", "with-Demand", "without")
 	base := config.Base()
 	profiles := workload.UPProfiles()
-	reports, err := runJobs(crossJobs(profiles,
+	reports, err := runJobs(ctx, crossJobs(profiles,
 		[]config.Config{base, base.WithoutPrefetch()}, opt), opt)
 	if err != nil {
 		return Result{}, Result{}, err
@@ -366,10 +397,15 @@ func Fig16and17(opt core.RunOptions) (Result, Result, error) {
 // Fig18 reproduces the reservation-station topology study: fused 1RS
 // (up to two dispatches) vs the adopted 2RS.
 func Fig18(opt core.RunOptions) (Result, error) {
+	return Fig18Ctx(context.Background(), opt)
+}
+
+// Fig18Ctx is Fig18 with a cancellation point.
+func Fig18Ctx(ctx context.Context, opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Reservation stations: 2RS relative to 1RS",
 		"workload", "IPC 1RS", "IPC 2RS", "2RS vs 1RS %")
 	profiles := workload.UPProfiles()
-	reports, err := runJobs(crossJobs(profiles,
+	reports, err := runJobs(ctx, crossJobs(profiles,
 		[]config.Config{config.Base().WithOneRS(), config.Base()}, opt), opt)
 	if err != nil {
 		return Result{}, err
@@ -389,16 +425,21 @@ func Fig18(opt core.RunOptions) (Result, error) {
 // The two workloads' fidelity ladders run concurrently; each ladder's nine
 // simulations are themselves scheduled (verif.RunAccuracyStudy).
 func Fig19(opt core.RunOptions) (Result, error) {
+	return Fig19Ctx(context.Background(), opt)
+}
+
+// Fig19Ctx is Fig19 with a cancellation point.
+func Fig19Ctx(ctx context.Context, opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Performance model accuracy (SPEC CPU2000 workloads)",
 		"version", "detail", "int2000 perf/v8", "int2000 err vs machine %", "fp2000 perf/v8", "fp2000 err vs machine %")
 	var si, sf verif.AccuracyStudy
-	err := sched.Do(sched.Options{Workers: opt.Workers},
-		func() (err error) {
-			si, err = verif.RunAccuracyStudy(config.Base(), workload.SPECint2000(), opt)
+	err := sched.DoCtx(ctx, sched.Options{Workers: opt.Workers},
+		func(ctx context.Context) (err error) {
+			si, err = verif.RunAccuracyStudyContext(ctx, config.Base(), workload.SPECint2000(), opt)
 			return
 		},
-		func() (err error) {
-			sf, err = verif.RunAccuracyStudy(config.Base(), workload.SPECfp2000(), opt)
+		func(ctx context.Context) (err error) {
+			sf, err = verif.RunAccuracyStudyContext(ctx, config.Base(), workload.SPECfp2000(), opt)
 			return
 		},
 	)
@@ -418,40 +459,88 @@ func Fig19(opt core.RunOptions) (Result, error) {
 		}}, nil
 }
 
+// study is one named entry of the full sweep. The name labels the study in
+// cancellation markers, where its Results (and their IDs) never arrived.
+type study struct {
+	name string
+	run  func(context.Context, core.RunOptions) ([]Result, error)
+}
+
+func studies() []study {
+	return []study{
+		{"Table 1", func(context.Context, core.RunOptions) ([]Result, error) {
+			return []Result{Table1()}, nil
+		}},
+		{"Figure 7", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := Fig07Ctx(ctx, o)
+			return []Result{r}, err
+		}},
+		{"Figure 8", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := Fig08Ctx(ctx, o)
+			return []Result{r}, err
+		}},
+		{"Figures 9-10", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			a, b, err := Fig09and10Ctx(ctx, o)
+			return []Result{a, b}, err
+		}},
+		{"Figures 11-13", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			a, b, c, err := Fig11to13Ctx(ctx, o)
+			return []Result{a, b, c}, err
+		}},
+		{"Figures 14-15", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			a, b, err := Fig14and15Ctx(ctx, o)
+			return []Result{a, b}, err
+		}},
+		{"Figures 16-17", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			a, b, err := Fig16and17Ctx(ctx, o)
+			return []Result{a, b}, err
+		}},
+		{"Figure 18", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := Fig18Ctx(ctx, o)
+			return []Result{r}, err
+		}},
+		{"Figure 19", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := Fig19Ctx(ctx, o)
+			return []Result{r}, err
+		}},
+		{"Extension", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := HPCStudyCtx(ctx, o)
+			return []Result{r}, err
+		}},
+		{"Section 2.1", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			return []Result{ModelSpeedCtx(ctx, o)}, nil
+		}},
+	}
+}
+
+// incompleteResult marks a study whose results never arrived — cancelled
+// mid-run, or failed — so a partial sweep still renders every slot.
+func incompleteResult(name string, err error) Result {
+	t := stats.NewTable("", "status")
+	t.AddRow(fmt.Sprintf("not completed: %v", err))
+	return Result{ID: name, Title: "(incomplete)", Table: t,
+		Notes: []string{"study did not complete; see status above"}}
+}
+
 // All runs every experiment in presentation order: the studies execute
 // concurrently on the scheduler (each study also schedules its own runs),
 // and results come back in the fixed presentation order with per-study
 // wall time stamped into Result.Elapsed.
 func All(opt core.RunOptions) ([]Result, error) {
-	studies := []func(core.RunOptions) ([]Result, error){
-		func(core.RunOptions) ([]Result, error) { return []Result{Table1()}, nil },
-		func(o core.RunOptions) ([]Result, error) { r, err := Fig07(o); return []Result{r}, err },
-		func(o core.RunOptions) ([]Result, error) { r, err := Fig08(o); return []Result{r}, err },
-		func(o core.RunOptions) ([]Result, error) {
-			a, b, err := Fig09and10(o)
-			return []Result{a, b}, err
-		},
-		func(o core.RunOptions) ([]Result, error) {
-			a, b, c, err := Fig11to13(o)
-			return []Result{a, b, c}, err
-		},
-		func(o core.RunOptions) ([]Result, error) {
-			a, b, err := Fig14and15(o)
-			return []Result{a, b}, err
-		},
-		func(o core.RunOptions) ([]Result, error) {
-			a, b, err := Fig16and17(o)
-			return []Result{a, b}, err
-		},
-		func(o core.RunOptions) ([]Result, error) { r, err := Fig18(o); return []Result{r}, err },
-		func(o core.RunOptions) ([]Result, error) { r, err := Fig19(o); return []Result{r}, err },
-		func(o core.RunOptions) ([]Result, error) { r, err := HPCStudy(o); return []Result{r}, err },
-		func(o core.RunOptions) ([]Result, error) { return []Result{ModelSpeed(o)}, nil },
-	}
-	groups, err := sched.Map(len(studies), sched.Options{Workers: opt.Workers},
-		func(i int) ([]Result, error) {
+	return AllContext(context.Background(), opt)
+}
+
+// AllContext is All with a cancellation point. On cancellation (or a study
+// failure) it still returns every completed study's results in
+// presentation order, with an incompleteResult marker in each missing
+// study's slot, alongside the lowest-index study error — so a sweep
+// interrupted by a deadline or SIGINT renders everything it finished.
+func AllContext(ctx context.Context, opt core.RunOptions) ([]Result, error) {
+	all := studies()
+	groups, errs := sched.MapAllCtx(ctx, len(all), sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) ([]Result, error) {
 			start := timeNow()
-			rs, err := studies[i](opt)
+			rs, err := all[i].run(ctx, opt)
 			elapsed := timeNow().Sub(start)
 			for j := range rs {
 				rs[j].Elapsed = elapsed
@@ -459,16 +548,29 @@ func All(opt core.RunOptions) ([]Result, error) {
 			return rs, err
 		})
 	var out []Result
-	for _, g := range groups {
+	var firstErr error
+	for i, g := range groups {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			out = append(out, incompleteResult(all[i].name, errs[i]))
+			continue
+		}
 		out = append(out, g...)
 	}
-	return out, err
+	return out, firstErr
 }
 
 // HPCStudy is an extension experiment (not a paper figure): it quantifies
 // the dual floating-point multiply-add units the paper highlights as the
 // machine's HPC feature, on a dense FMA kernel.
 func HPCStudy(opt core.RunOptions) (Result, error) {
+	return HPCStudyCtx(context.Background(), opt)
+}
+
+// HPCStudyCtx is HPCStudy with a cancellation point.
+func HPCStudyCtx(ctx context.Context, opt core.RunOptions) (Result, error) {
 	t := stats.NewTable("Dual multiply-add units on a dense FP kernel",
 		"configuration", "IPC", "vs base %")
 	kernel := workload.HPC()
@@ -490,7 +592,7 @@ func HPCStudy(opt core.RunOptions) (Result, error) {
 		}
 		jobs[i] = job{cfg: cfg, p: kernel, opt: opt}
 	}
-	reports, err := runJobs(jobs, opt)
+	reports, err := runJobs(ctx, jobs, opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -511,15 +613,21 @@ func HPCStudy(opt core.RunOptions) (Result, error) {
 // effective aggregate throughput, the number that governs sweep turnaround
 // on a multicore host.
 func ModelSpeed(opt core.RunOptions) Result {
+	return ModelSpeedCtx(context.Background(), opt)
+}
+
+// ModelSpeedCtx is ModelSpeed with a cancellation point; cancelled rows
+// are simply omitted (the measurement is wall-clock, not simulation state).
+func ModelSpeedCtx(ctx context.Context, opt core.RunOptions) Result {
 	t := stats.NewTable("Performance-model execution speed (this host)",
 		"workload", "simulated instrs/second")
 	const insts = 200_000
-	speedRun := func(p workload.Profile) (uint64, error) {
+	speedRun := func(ctx context.Context, p workload.Profile) (uint64, error) {
 		m, err := core.NewModel(config.Base())
 		if err != nil {
 			return 0, err
 		}
-		r, err := m.Run(p, core.RunOptions{Insts: insts})
+		r, err := m.RunContext(ctx, p, core.RunOptions{Insts: insts})
 		if err != nil {
 			return 0, err
 		}
@@ -527,7 +635,7 @@ func ModelSpeed(opt core.RunOptions) Result {
 	}
 	for _, p := range []workload.Profile{workload.SPECint95(), workload.TPCC()} {
 		start := timeNow()
-		done, err := speedRun(p)
+		done, err := speedRun(ctx, p)
 		if err != nil {
 			continue
 		}
@@ -537,8 +645,8 @@ func ModelSpeed(opt core.RunOptions) Result {
 	// Aggregate: the five UP workloads in one scheduled batch.
 	profiles := workload.UPProfiles()
 	start := timeNow()
-	counts, err := sched.Map(len(profiles), sched.Options{Workers: opt.Workers},
-		func(i int) (uint64, error) { return speedRun(profiles[i]) })
+	counts, err := sched.MapCtx(ctx, len(profiles), sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (uint64, error) { return speedRun(ctx, profiles[i]) })
 	if err == nil {
 		var total uint64
 		for _, n := range counts {

@@ -1,8 +1,11 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"sparc64v/internal/core"
 )
@@ -150,5 +153,80 @@ func TestModelSpeed(t *testing.T) {
 	}
 	if !strings.Contains(r.Table.String(), "workers") {
 		t.Error("ModelSpeed missing the aggregate-throughput row")
+	}
+}
+
+// TestAllContextPreCancelled: a sweep whose context is already dead must
+// still render a marker in every presentation slot, in order, and report
+// the cancellation — the "Ctrl-C renders what finished" contract at its
+// degenerate extreme where nothing finished.
+func TestAllContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := AllContext(ctx, testOpt())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AllContext err = %v", err)
+	}
+	all := studies()
+	if len(results) != len(all) {
+		t.Fatalf("got %d results, want one marker per study (%d)", len(results), len(all))
+	}
+	for i, r := range results {
+		if r.ID != all[i].name {
+			t.Errorf("slot %d: ID %q, want %q", i, r.ID, all[i].name)
+		}
+		if r.Title != "(incomplete)" {
+			t.Errorf("slot %d: Title %q, want (incomplete)", i, r.Title)
+		}
+		if !strings.Contains(r.Table.String(), "not completed") {
+			t.Errorf("slot %d: marker table lacks status row:\n%s", i, r.Table.String())
+		}
+	}
+}
+
+// TestAllContextMidCancel gives a long sweep a short deadline: whatever
+// studies finished keep their real tables, the rest carry markers, and
+// every study has at least one slot in presentation order.
+func TestAllContextMidCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results, err := AllContext(ctx, core.RunOptions{Insts: 3_000_000, Workers: 2})
+	if err == nil {
+		t.Skip("sweep finished inside the deadline; nothing to observe")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AllContext err = %v", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("cancelled sweep took %v to return", d)
+	}
+	if len(results) < len(studies()) {
+		t.Fatalf("only %d results for %d studies", len(results), len(studies()))
+	}
+	incomplete := 0
+	for _, r := range results {
+		if r.Title == "(incomplete)" {
+			incomplete++
+		}
+	}
+	if incomplete == 0 {
+		t.Fatal("deadline expired yet no study was marked incomplete")
+	}
+	t.Logf("%d/%d result slots incomplete after the deadline", incomplete, len(results))
+}
+
+// TestAllContextUncancelledMatchesAll: with a live context the ctx variant
+// is the same sweep — All itself delegates to it, and determinism across
+// worker counts is locked by TestAllDeterministicAcrossWorkers.
+func TestAllContextUncancelledMatchesAll(t *testing.T) {
+	results, err := AllContext(context.Background(), testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Title == "(incomplete)" {
+			t.Fatalf("uncancelled sweep produced an incomplete marker: %s", r.ID)
+		}
 	}
 }

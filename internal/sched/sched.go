@@ -10,10 +10,19 @@
 // on multicore hosts while keeping every table byte-identical to a serial
 // run: results are ordered by submission index, never by completion time,
 // and all randomness stays inside the per-job generators.
+//
+// Run lifecycle: the context-aware variants (MapCtx, MapAllCtx, DoCtx)
+// stop handing out job indices once the context is cancelled — jobs not
+// yet started report ctx.Err() — and every worker recovers panics into a
+// *PanicError carrying the job index and a truncated stack, so one bad
+// configuration in a long sweep reports instead of killing its siblings.
 package sched
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -25,7 +34,9 @@ type Options struct {
 	Workers int
 	// OnDone, when non-nil, is called once per job as it finishes, with the
 	// job's submission index and error. Calls may arrive out of order and
-	// concurrently; the callback must be safe for concurrent use.
+	// concurrently; the callback must be safe for concurrent use. Jobs
+	// skipped because the batch context was cancelled still get a call,
+	// with the context's error.
 	OnDone func(index int, err error)
 }
 
@@ -37,12 +48,58 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// maxPanicStack bounds the stack captured into a PanicError: enough for
+// the panic site and the frames leading to it, without dumping the whole
+// goroutine dump of a deep simulation into an error string.
+const maxPanicStack = 4 << 10
+
+// PanicError is a job panic recovered by the scheduler. The batch keeps
+// running: sibling jobs are unaffected, and the panicking job reports this
+// error at its submission index.
+type PanicError struct {
+	// Index is the job's submission index within its batch.
+	Index int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack, truncated to a few KB.
+	Stack []byte
+}
+
+// Error renders the panic with its job index and stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// runJob executes one job, converting a panic into a *PanicError.
+func runJob[T any](ctx context.Context, i int, job func(ctx context.Context, index int) (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > maxPanicStack {
+				stack = append(stack[:maxPanicStack], "... (truncated)"...)
+			}
+			err = &PanicError{Index: i, Value: r, Stack: stack}
+		}
+	}()
+	return job(ctx, i)
+}
+
 // Map runs job(0..n-1) on a bounded worker pool and returns the results in
 // submission order. Every job runs regardless of other jobs' failures; the
 // returned error is the lowest-index job error (nil if all succeeded), so a
 // parallel run reports the same error a serial loop would have hit first.
 func Map[T any](n int, opt Options, job func(index int) (T, error)) ([]T, error) {
-	out, errs := MapAll(n, opt, job)
+	return MapCtx(context.Background(), n, opt,
+		func(_ context.Context, i int) (T, error) { return job(i) })
+}
+
+// MapCtx is Map with a batch context: cancellation stops new jobs from
+// starting (already-running jobs finish, or observe ctx themselves), and
+// jobs that never started report ctx.Err() at their index. The returned
+// error is still the lowest-index per-job error, so a batch cancelled
+// before any job failed returns ctx.Err().
+func MapCtx[T any](ctx context.Context, n int, opt Options, job func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	out, errs := MapAllCtx(ctx, n, opt, job)
 	for _, err := range errs {
 		if err != nil {
 			return out, err
@@ -53,6 +110,13 @@ func Map[T any](n int, opt Options, job func(index int) (T, error)) ([]T, error)
 
 // MapAll is Map with per-job error capture: errs[i] is job i's error.
 func MapAll[T any](n int, opt Options, job func(index int) (T, error)) (out []T, errs []error) {
+	return MapAllCtx(context.Background(), n, opt,
+		func(_ context.Context, i int) (T, error) { return job(i) })
+}
+
+// MapAllCtx is MapCtx with per-job error capture: errs[i] is job i's
+// error, or ctx.Err() for jobs skipped after cancellation.
+func MapAllCtx[T any](ctx context.Context, n int, opt Options, job func(ctx context.Context, index int) (T, error)) (out []T, errs []error) {
 	out = make([]T, n)
 	errs = make([]error, n)
 	if n == 0 {
@@ -62,13 +126,20 @@ func MapAll[T any](n int, opt Options, job func(index int) (T, error)) (out []T,
 	if workers > n {
 		workers = n
 	}
+	runOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+		} else {
+			out[i], errs[i] = runJob(ctx, i, job)
+		}
+		if opt.OnDone != nil {
+			opt.OnDone(i, errs[i])
+		}
+	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, deterministic by construction.
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = job(i)
-			if opt.OnDone != nil {
-				opt.OnDone(i, errs[i])
-			}
+			runOne(i)
 		}
 		return out, errs
 	}
@@ -83,10 +154,7 @@ func MapAll[T any](n int, opt Options, job func(index int) (T, error)) (out []T,
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = job(i)
-				if opt.OnDone != nil {
-					opt.OnDone(i, errs[i])
-				}
+				runOne(i)
 			}
 		}()
 	}
@@ -99,6 +167,14 @@ func MapAll[T any](n int, opt Options, job func(index int) (T, error)) (out []T,
 func Do(opt Options, jobs ...func() error) error {
 	_, err := Map(len(jobs), opt, func(i int) (struct{}, error) {
 		return struct{}{}, jobs[i]()
+	})
+	return err
+}
+
+// DoCtx is Do with a batch context (MapCtx semantics).
+func DoCtx(ctx context.Context, opt Options, jobs ...func(context.Context) error) error {
+	_, err := MapCtx(ctx, len(jobs), opt, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, jobs[i](ctx)
 	})
 	return err
 }

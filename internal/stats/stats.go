@@ -112,9 +112,10 @@ func formatCell(c any) string {
 	case fmt.Stringer:
 		return v.String()
 	case float64:
-		if v == math.Trunc(v) && math.Abs(v) < 1e12 {
-			return fmt.Sprintf("%.1f", v)
-		}
+		// One width for every float: integral values used to render "%.1f"
+		// while fractional ones rendered "%.3f", so a column mixing 2.0 and
+		// 1.975 came out ragged ("2.0" over "1.975") and the same quantity
+		// changed width across configurations.
 		return fmt.Sprintf("%.3f", v)
 	case int:
 		return fmt.Sprintf("%d", v)

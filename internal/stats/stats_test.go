@@ -94,10 +94,15 @@ func TestTable(t *testing.T) {
 
 func TestTableCellFormats(t *testing.T) {
 	tb := NewTable("", "a", "b")
-	tb.AddRow(int64(-3), 2.0) // integral float renders with one decimal
+	tb.AddRow(int64(-3), 2.0) // floats render at a single width, integral or not
 	s := tb.String()
-	if !strings.Contains(s, "-3") || !strings.Contains(s, "2.0") {
+	if !strings.Contains(s, "-3") || !strings.Contains(s, "2.000") {
 		t.Errorf("cell formatting: %q", s)
+	}
+	tb.AddRow("x", 1.975)
+	s = tb.String()
+	if !strings.Contains(s, "1.975") || strings.Contains(s, "2.0 ") {
+		t.Errorf("mixed-column formatting: %q", s)
 	}
 }
 

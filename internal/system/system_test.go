@@ -1,9 +1,12 @@
 package system
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/trace"
@@ -198,5 +201,77 @@ func TestSummaryJSON(t *testing.T) {
 	var back map[string]any
 	if err := json.Unmarshal([]byte(out), &back); err != nil {
 		t.Fatalf("JSON does not parse: %v", err)
+	}
+}
+
+// TestRunContextCancellation covers the global cycle loop's cancellation
+// point: a pre-cancelled context stops the run before any cycle, a mid-run
+// cancel stops within one poll stride, and the partial report still
+// snapshots consistently.
+func TestRunContextCancellation(t *testing.T) {
+	cfg := config.Base()
+	sys, err := New(cfg, sources(workload.SPECint95(), 1, 200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cycles, capped, cerr := sys.RunContext(ctx, 0)
+	if !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext err = %v", cerr)
+	}
+	if cycles != 0 || capped {
+		t.Fatalf("pre-cancelled run simulated %d cycles (capped=%v)", cycles, capped)
+	}
+
+	// Mid-run: a deadline that fires while the simulation is in flight.
+	sys, err = New(cfg, sources(workload.SPECint95(), 1, 5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	_, capped, cerr = sys.RunContext(ctx2, 0)
+	if cerr != nil {
+		if !errors.Is(cerr, context.DeadlineExceeded) {
+			t.Fatalf("mid-run RunContext err = %v", cerr)
+		}
+		if capped {
+			t.Fatal("cancelled run reported the cycle cap")
+		}
+		// The partial state must still be reportable.
+		r := sys.Report("partial")
+		if r.Cycles != sys.Cycle() {
+			t.Fatalf("partial report cycles=%d, system at %d", r.Cycles, sys.Cycle())
+		}
+	}
+	// (If the host finished 5M instructions inside 30ms, the run completing
+	// with cerr == nil is also correct.)
+}
+
+// TestRunContextUncancelledMatchesRun guards determinism: the context-
+// aware loop must simulate exactly the same machine as Run when the
+// context never fires.
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	cfg := config.Base()
+	a, err := New(cfg, sources(workload.TPCC(), 1, 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, sources(workload.TPCC(), 1, 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cappedA := a.Run(0)
+	cb, cappedB, cerr := b.RunContext(context.Background(), 0)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if ca != cb || cappedA != cappedB {
+		t.Fatalf("Run (%d,%v) vs RunContext (%d,%v) diverge", ca, cappedA, cb, cappedB)
+	}
+	ra, rb := a.Report("x"), b.Report("x")
+	if ra.String() != rb.String() {
+		t.Fatalf("reports diverge:\n%s\n%s", ra.String(), rb.String())
 	}
 }

@@ -50,12 +50,21 @@ type Writer struct {
 // NewWriter writes the trace header and returns a Writer. The record count
 // written in the header is 0 ("unknown"); readers discover the end by EOF.
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterCount(w, 0)
+}
+
+// NewWriterCount writes the trace header with a known record count
+// (0 = unknown) and returns a Writer. The count is advisory: the stream
+// still ends at EOF, but readers can size buffers or sanity-check against
+// Reader.HeaderCount.
+func NewWriterCount(w io.Writer, count uint64) (*Writer, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(Magic); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
-	n := binary.PutUvarint(make([]byte, binary.MaxVarintLen64), 0)
-	if _, err := bw.Write(make([]byte, n)); err != nil {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], count)
+	if _, err := bw.Write(buf[:n]); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
 	return &Writer{w: bw}, nil
@@ -128,10 +137,17 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 
 // Reader decodes a trace stream produced by Writer. It implements Source.
 type Reader struct {
-	r      *bufio.Reader
-	prevPC uint64
-	prevEA uint64
-	err    error
+	r         *bufio.Reader
+	prevPC    uint64
+	prevEA    uint64
+	headCount uint64
+	err       error
+	// verify runs once at clean EOF to validate the transport framing —
+	// for gzip streams, that the decompressor reached its trailer and the
+	// CRC32/length checks passed. Without it a truncated .gz whose deflate
+	// stream happens to end on a block boundary would read as a short but
+	// apparently complete trace.
+	verify func() error
 }
 
 // NewReader validates the header and returns a Reader.
@@ -144,11 +160,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(hdr) != Magic {
 		return nil, ErrBadMagic
 	}
-	if _, err := binary.ReadUvarint(br); err != nil {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
 		return nil, fmt.Errorf("trace: reading header count: %w", err)
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, headCount: count}, nil
 }
+
+// HeaderCount returns the record count declared by the stream header
+// (0 = unknown; see NewWriterCount).
+func (rd *Reader) HeaderCount() uint64 { return rd.headCount }
 
 // Err returns the first decoding error encountered, if any. io.EOF at a
 // record boundary is normal termination and is not reported.
@@ -163,6 +184,11 @@ func (rd *Reader) Next(r *Record) bool {
 	if err != nil {
 		if err != io.EOF {
 			rd.err = err
+		} else if rd.verify != nil {
+			if verr := rd.verify(); verr != nil {
+				rd.err = verr
+			}
+			rd.verify = nil
 		}
 		return false
 	}
@@ -219,7 +245,10 @@ func (rd *Reader) Next(r *Record) bool {
 
 // OpenReader returns a Reader for a trace stream, transparently handling
 // gzip-compressed traces (long TPC-C captures are routinely stored
-// compressed).
+// compressed). For gzip input the Reader validates the gzip trailer
+// (CRC32 and uncompressed length) once the records end: a compressed
+// trace that was cut short surfaces through Err() instead of silently
+// reading as a shorter trace.
 func OpenReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic, err := br.Peek(2)
@@ -228,7 +257,27 @@ func OpenReader(r io.Reader) (*Reader, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: gzip: %w", err)
 		}
-		return NewReader(gz)
+		rd, err := NewReader(gz)
+		if err != nil {
+			return nil, err
+		}
+		rd.verify = func() error {
+			// A clean io.EOF from gzip means the decompressor consumed the
+			// trailer and the CRC32/ISIZE checks passed; anything else is a
+			// truncated or corrupt compressed stream.
+			var b [1]byte
+			if _, err := gz.Read(b[:]); err != io.EOF {
+				if err == nil {
+					err = errors.New("data past end of records")
+				}
+				return fmt.Errorf("trace: gzip stream: %w", err)
+			}
+			if err := gz.Close(); err != nil {
+				return fmt.Errorf("trace: gzip stream: %w", err)
+			}
+			return nil
+		}
+		return rd, nil
 	}
 	return NewReader(br)
 }

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
+	"io"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -332,5 +334,200 @@ func TestOpenReaderGzip(t *testing.T) {
 	// Corrupt gzip header fails cleanly.
 	if _, err := OpenReader(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00})); err == nil {
 		t.Error("corrupt gzip accepted")
+	}
+}
+
+// TestHeaderCountRoundTrip locks the header encoding: the count varint must
+// actually be the encoded bytes (a former bug wrote a zero-filled buffer of
+// the right length instead — invisible for count 0, corrupt for any other).
+func TestHeaderCountRoundTrip(t *testing.T) {
+	for _, count := range []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1} {
+		var buf bytes.Buffer
+		w, err := NewWriterCount(&buf, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Record{PC: 0x1000, Op: isa.IntALU, Dst: 1, Src1: isa.RegNone, Src2: isa.RegNone}
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// The bytes after the magic must be the minimal varint encoding.
+		var want [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(want[:], count)
+		if got := buf.Bytes()[len(Magic) : len(Magic)+n]; !bytes.Equal(got, want[:n]) {
+			t.Fatalf("count %d: header varint % x, want % x", count, got, want[:n])
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		if rd.HeaderCount() != count {
+			t.Fatalf("HeaderCount = %d, want %d", rd.HeaderCount(), count)
+		}
+		var got Record
+		if !rd.Next(&got) || got != r {
+			t.Fatalf("count %d: record lost after header (err=%v)", count, rd.Err())
+		}
+	}
+	// NewWriter writes the "unknown" count.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.HeaderCount() != 0 {
+		t.Fatalf("default HeaderCount = %d", rd.HeaderCount())
+	}
+}
+
+// buildTestTrace writes a mixed-class trace and returns the encoded bytes
+// plus the byte offset of every record boundary (the header end included).
+func buildTestTrace(t *testing.T, n int) ([]byte, map[int]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	boundaries := map[int]int{buf.Len(): 0} // offset -> records before it
+	for i := 0; i < n; i++ {
+		r := randRecord(rng)
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries[buf.Len()] = i + 1
+	}
+	return buf.Bytes(), boundaries
+}
+
+// TestTruncateEveryOffset cuts a valid multi-record trace at every byte
+// offset: the Reader must report a truncation error everywhere except at
+// exact record boundaries, where it must deliver exactly the records before
+// the cut and end cleanly.
+func TestTruncateEveryOffset(t *testing.T) {
+	full, boundaries := buildTestTrace(t, 40)
+	headerLen := len(Magic) + 1 // magic + one-byte varint count 0
+	for cut := 0; cut <= len(full); cut++ {
+		rd, err := NewReader(bytes.NewReader(full[:cut]))
+		if cut < headerLen {
+			if err == nil {
+				t.Fatalf("cut=%d: truncated header accepted", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut=%d: NewReader: %v", cut, err)
+		}
+		var r Record
+		read := 0
+		for rd.Next(&r) {
+			read++
+		}
+		want, atBoundary := boundaries[cut]
+		if atBoundary {
+			if rd.Err() != nil {
+				t.Fatalf("cut=%d (boundary): spurious error %v", cut, rd.Err())
+			}
+			if read != want {
+				t.Fatalf("cut=%d (boundary): read %d records, want %d", cut, read, want)
+			}
+		} else {
+			if rd.Err() == nil {
+				t.Fatalf("cut=%d (mid-record, %d records read): truncation not reported",
+					cut, read)
+			}
+		}
+	}
+}
+
+// TestTruncatedGzip cuts the *compressed* stream at every offset: a short
+// .gz must never read as a clean shorter trace — either OpenReader fails or
+// Err() reports the damage, including cuts inside the gzip trailer where
+// every record decodes but the CRC32/length words are missing.
+func TestTruncatedGzip(t *testing.T) {
+	full, _ := buildTestTrace(t, 25)
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	gz.Write(full)
+	gz.Close()
+	zb := zipped.Bytes()
+	for cut := 2; cut < len(zb); cut++ {
+		rd, err := OpenReader(bytes.NewReader(zb[:cut]))
+		if err != nil {
+			continue // damage caught at open time
+		}
+		var r Record
+		read := 0
+		for rd.Next(&r) {
+			read++
+		}
+		if rd.Err() == nil {
+			t.Fatalf("cut=%d/%d: truncated gzip read as a clean %d-record trace",
+				cut, len(zb), read)
+		}
+	}
+	// The whole stream still reads cleanly.
+	rd, err := OpenReader(bytes.NewReader(zb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := 0
+	var r Record
+	for rd.Next(&r) {
+		read++
+	}
+	if rd.Err() != nil || read != 25 {
+		t.Fatalf("intact gzip: %d records, err=%v", read, rd.Err())
+	}
+}
+
+// TestCorruptGzipPayload flips one byte of the compressed payload: the
+// checksum mismatch must surface through Err() even when the flip leaves
+// the deflate stream decodable.
+func TestCorruptGzipPayload(t *testing.T) {
+	full, _ := buildTestTrace(t, 25)
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	gz.Write(full)
+	gz.Close()
+	zb := zipped.Bytes()
+	flips := 0
+	for off := 10; off < len(zb)-8; off += 7 {
+		mut := bytes.Clone(zb)
+		mut[off] ^= 0x10
+		// Some flips land in dead bits of the deflate framing (stored-block
+		// padding): gzip legitimately decodes identical bytes and the CRC
+		// passes. Only flips gzip itself objects to must surface.
+		if g, err := gzip.NewReader(bytes.NewReader(mut)); err == nil {
+			if _, err := io.Copy(io.Discard, g); err == nil {
+				continue
+			}
+		}
+		rd, err := OpenReader(bytes.NewReader(mut))
+		if err != nil {
+			continue // rejected outright
+		}
+		var r Record
+		for rd.Next(&r) {
+		}
+		if rd.Err() == nil {
+			t.Fatalf("flip at %d: corrupt gzip read cleanly", off)
+		}
+		flips++
+	}
+	if flips == 0 {
+		t.Fatal("no flip exercised the reader path")
 	}
 }

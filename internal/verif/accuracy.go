@@ -1,6 +1,7 @@
 package verif
 
 import (
+	"context"
 	"fmt"
 
 	"sparc64v/internal/config"
@@ -68,19 +69,25 @@ func PhysicalMachineProxy(cfg config.Config) config.Config {
 // workload and assembles the Figure 19 series. The machine proxy and the
 // eight versions are independent simulations and execute on the scheduler.
 func RunAccuracyStudy(base config.Config, p workload.Profile, opt core.RunOptions) (AccuracyStudy, error) {
+	return RunAccuracyStudyContext(context.Background(), base, p, opt)
+}
+
+// RunAccuracyStudyContext is RunAccuracyStudy with a cancellation point
+// shared by the ladder's scheduled simulations.
+func RunAccuracyStudyContext(ctx context.Context, base config.Config, p workload.Profile, opt core.RunOptions) (AccuracyStudy, error) {
 	study := AccuracyStudy{Workload: p.Name}
 	versions := core.Versions()
 	cfgs := []config.Config{PhysicalMachineProxy(base)}
 	for _, v := range versions {
 		cfgs = append(cfgs, v.Apply(base))
 	}
-	all, err := sched.Map(len(cfgs), sched.Options{Workers: opt.Workers},
-		func(i int) (float64, error) {
+	all, err := sched.MapCtx(ctx, len(cfgs), sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (float64, error) {
 			m, err := core.NewModel(cfgs[i])
 			if err != nil {
 				return 0, err
 			}
-			r, err := m.Run(p, opt)
+			r, err := m.RunContext(ctx, p, opt)
 			if err != nil {
 				if i > 0 {
 					return 0, fmt.Errorf("%s: %w", versions[i-1].Name, err)
@@ -134,34 +141,43 @@ func (t *TrendCheck) Agree() bool {
 // RunTrendCheck evaluates base vs variant on both models.
 func RunTrendCheck(change string, base, variant config.Config, p workload.Profile,
 	opt core.RunOptions) (TrendCheck, error) {
+	return RunTrendCheckContext(context.Background(), change, base, variant, p, opt)
+}
+
+// RunTrendCheckContext is RunTrendCheck with a cancellation point shared
+// by the four scheduled simulations.
+func RunTrendCheckContext(ctx context.Context, change string, base, variant config.Config,
+	p workload.Profile, opt core.RunOptions) (TrendCheck, error) {
 	tc := TrendCheck{Change: change}
-	run := func(cfg config.Config) (float64, error) {
+	run := func(ctx context.Context, cfg config.Config) (float64, error) {
 		m, err := core.NewModel(cfg)
 		if err != nil {
 			return 0, err
 		}
-		r, err := m.Run(p, opt)
+		r, err := m.RunContext(ctx, p, opt)
 		if err != nil {
 			return 0, err
 		}
 		return r.IPC(), nil
 	}
-	refRun := func(cfg config.Config) float64 {
+	refRun := func(ctx context.Context, cfg config.Config) (float64, error) {
 		rf := NewReference(cfg)
 		n := opt.Insts
 		if n <= 0 {
 			n = 200_000
 		}
-		rf.Run(trace.NewLimitSource(workload.New(p, opt.Seed, 0), n))
-		return 1 / rf.CPI()
+		if err := rf.RunContext(ctx, trace.NewLimitSource(workload.New(p, opt.Seed, 0), n)); err != nil {
+			return 0, err
+		}
+		return 1 / rf.CPI(), nil
 	}
 	// Both models on both configurations: four independent simulations.
 	var b, v, rb, rv float64
-	err := sched.Do(sched.Options{Workers: opt.Workers},
-		func() (err error) { b, err = run(base); return },
-		func() (err error) { v, err = run(variant); return },
-		func() error { rb = refRun(base); return nil },
-		func() error { rv = refRun(variant); return nil },
+	err := sched.DoCtx(ctx, sched.Options{Workers: opt.Workers},
+		func(ctx context.Context) (err error) { b, err = run(ctx, base); return },
+		func(ctx context.Context) (err error) { v, err = run(ctx, variant); return },
+		func(ctx context.Context) (err error) { rb, err = refRun(ctx, base); return },
+		func(ctx context.Context) (err error) { rv, err = refRun(ctx, variant); return },
 	)
 	if err != nil {
 		return tc, err

@@ -1,6 +1,8 @@
 package verif
 
 import (
+	"context"
+
 	"sparc64v/internal/cache"
 	"sparc64v/internal/config"
 	"sparc64v/internal/isa"
@@ -38,13 +40,32 @@ func NewReference(cfg config.Config) *Reference {
 
 // Run consumes the source and accumulates timing.
 func (rf *Reference) Run(src trace.Source) {
+	_ = rf.RunContext(context.Background(), src)
+}
+
+// ctxPollStride matches the detailed model's cancellation granularity: the
+// reference loop polls its context every 4K instructions.
+const ctxPollStride = 4096
+
+// RunContext is Run with a cancellation point, polled on a coarse
+// instruction stride. It returns ctx.Err() when cancelled mid-run; the
+// accumulated Cycles/Instructions stay consistent with what was consumed.
+func (rf *Reference) RunContext(ctx context.Context, src trace.Source) error {
 	var r trace.Record
 	memLat := uint64(rf.cfg.Mem.DRAMCycles)
 	l2Lat := uint64(rf.cfg.Mem.L2.HitCycles)
 	if rf.cfg.Mem.L2OffChip {
 		l2Lat += uint64(rf.cfg.Mem.OffChipPenalty)
 	}
+	done := ctx.Done()
 	for src.Next(&r) {
+		if done != nil && rf.Instructions&(ctxPollStride-1) == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		rf.Instructions++
 		rf.Cycles++ // base CPI of 1
 		if rf.Instructions%8 == 1 {
@@ -72,6 +93,7 @@ func (rf *Reference) Run(src trace.Source) {
 			rf.Cycles += uint64(rf.cfg.CPU.Latencies[r.Op].Cycles) / 2
 		}
 	}
+	return nil
 }
 
 // access charges a blocking hierarchy access and maintains cache state.

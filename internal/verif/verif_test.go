@@ -2,6 +2,8 @@ package verif
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -197,5 +199,44 @@ func TestAccuracyStudy(t *testing.T) {
 	// The machine proxy differs from every early version.
 	if study.MachineIPC <= 0 {
 		t.Error("machine proxy IPC not positive")
+	}
+}
+
+// TestAccuracyStudyContextCancelled: the fidelity ladder must report the
+// cancellation instead of running all nine simulations.
+func TestAccuracyStudyContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAccuracyStudyContext(ctx, config.Base(), workload.SPECint95(),
+		core.RunOptions{Insts: 30_000, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAccuracyStudyContext err = %v", err)
+	}
+}
+
+// TestReferenceRunContextCancelled: the in-order reference loop polls its
+// context on an instruction stride.
+func TestReferenceRunContextCancelled(t *testing.T) {
+	rf := NewReference(config.Base())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := rf.RunContext(ctx, trace.NewLimitSource(workload.New(workload.SPECint95(), 1, 0), 1_000_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Reference.RunContext err = %v", err)
+	}
+	if rf.Instructions >= 1_000_000 {
+		t.Fatalf("reference consumed the whole trace (%d instrs) despite cancellation", rf.Instructions)
+	}
+}
+
+// TestTrendCheckContextCancelled covers the four-way scheduled trend run.
+func TestTrendCheckContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := config.Base()
+	_, err := RunTrendCheckContext(ctx, "x", base, base.WithSmallBHT(), workload.SPECint95(),
+		core.RunOptions{Insts: 30_000, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTrendCheckContext err = %v", err)
 	}
 }

@@ -111,10 +111,16 @@ var (
 	Fig19 = expt.Fig19
 	// AllExperiments runs everything in presentation order.
 	AllExperiments = expt.All
+	// AllExperimentsContext is AllExperiments with a cancellation point:
+	// completed studies still render, missing ones are marked incomplete.
+	AllExperimentsContext = expt.AllContext
 )
 
 // RunAccuracyStudy runs the Figure 19 methodology for one workload.
 var RunAccuracyStudy = verif.RunAccuracyStudy
+
+// RunAccuracyStudyContext is RunAccuracyStudy with a cancellation point.
+var RunAccuracyStudyContext = verif.RunAccuracyStudyContext
 
 // ReverseTrace converts a trace into an exactly replayable test program
 // (the paper's Reverse Tracer, reference [11]).
