@@ -3,8 +3,11 @@
 
 GO ?= go
 INSTS ?= 1000000
+# Content-addressed run cache shared by sweep/accuracy/serve: repeated runs
+# with unchanged config+workload+seed+model are served without simulating.
+CACHE_DIR ?= .simcache
 
-.PHONY: build test race bench sweep accuracy clean
+.PHONY: build test race bench sweep accuracy serve smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,12 +24,25 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
 # Regenerates EXPERIMENTS.md at full trace length (stderr carries the
-# per-study wall times and effective sim-instrs/s summary).
+# per-study wall times, effective sim-instrs/s, and cache summary). The
+# cache makes regeneration incremental: only runs invalidated by a config,
+# workload, seed, or model-version change re-simulate.
 sweep:
-	$(GO) run ./cmd/sweep -insts $(INSTS) -markdown > EXPERIMENTS.md
+	$(GO) run ./cmd/sweep -insts $(INSTS) -markdown -cache-dir $(CACHE_DIR) > EXPERIMENTS.md
 
 accuracy:
-	$(GO) run ./cmd/accuracy
+	$(GO) run ./cmd/accuracy -cache-dir $(CACHE_DIR)
+
+# Serves the simulator over HTTP (see cmd/simd and README "Simulation as
+# a service"): POST /v1/run, GET /v1/studies/{id}, /healthz, /metrics.
+serve:
+	$(GO) run ./cmd/simd -cache-dir $(CACHE_DIR)
+
+# End-to-end service check: boots simd, proves a repeated request is a
+# cache hit via /metrics, and drains it with SIGINT.
+smoke:
+	./scripts/smoke.sh
 
 clean:
 	$(GO) clean ./...
+	rm -rf $(CACHE_DIR)

@@ -12,6 +12,12 @@
 //
 //	accuracy -workload specint2000 -insts 300000
 //
+// With -cache-dir the profile-based simulations go through the
+// content-addressed run cache (internal/runcache), so re-running the
+// workflow after an interruption or on a warm cache skips the ladder and
+// trend runs that already completed. The reverse-tracer section replays
+// explicit traces and always simulates.
+//
 // Run lifecycle: -timeout bounds the whole workflow and SIGINT (Ctrl-C)
 // cancels it cooperatively; sections that already printed stand, the
 // section in flight reports the cancellation, and the process exits
@@ -25,10 +31,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
+	"sparc64v/internal/runcache"
 	"sparc64v/internal/stats"
 	"sparc64v/internal/trace"
 	"sparc64v/internal/verif"
@@ -43,11 +49,12 @@ func main() {
 		parallel     = flag.Bool("parallel", true, "run independent simulations concurrently")
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 0, "abort the workflow after this long (0 = no limit)")
+		cacheDir     = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
 	)
 	flag.Parse()
-	prof, ok := profileByName(*workloadName)
+	prof, ok := workload.ByName(*workloadName)
 	if !ok {
-		fatal("unknown workload %q", *workloadName)
+		fatal("unknown workload %q (have %v)", *workloadName, workload.Names())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -59,6 +66,13 @@ func main() {
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
 		opt.Workers = 1
+	}
+	if *cacheDir != "" {
+		cache, err := runcache.New(runcache.Options{Dir: *cacheDir})
+		if err != nil {
+			fatal("%v", err)
+		}
+		opt.Cache = cache
 	}
 	base := config.Base()
 
@@ -126,22 +140,6 @@ func main() {
 		fmt.Println("  [MISMATCH]")
 		os.Exit(1)
 	}
-}
-
-func profileByName(name string) (workload.Profile, bool) {
-	switch strings.ToLower(name) {
-	case "specint95":
-		return workload.SPECint95(), true
-	case "specfp95":
-		return workload.SPECfp95(), true
-	case "specint2000":
-		return workload.SPECint2000(), true
-	case "specfp2000":
-		return workload.SPECfp2000(), true
-	case "tpcc":
-		return workload.TPCC(), true
-	}
-	return workload.Profile{}, false
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,92 @@
+// Command simd serves the simulator over HTTP ("simulation as a
+// service"): content-addressed runs, the experiment-study harness, a
+// health probe, and Prometheus-style metrics.
+//
+// Endpoints:
+//
+//	POST /v1/run          run (or fetch) one simulation; JSON in/out
+//	GET  /v1/studies/{id} run one expt study (table-1, figure-7, ...)
+//	GET  /healthz         liveness probe
+//	GET  /metrics         text metrics (cache, queue, simulation meter)
+//
+// Example:
+//
+//	simd -addr :8964 -cache-dir /var/cache/sparc64v &
+//	curl -s localhost:8964/v1/run -d '{"workload":"specint95","insts":100000}'
+//
+// Repeating the same request is a cache hit (see the response's "cache"
+// field and /metrics); concurrent identical requests share one
+// simulation. When the queue is full the server sheds load with 429
+// instead of accepting unbounded work. SIGINT/SIGTERM drains: in-flight
+// requests finish, new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sparc64v/internal/runcache"
+	"sparc64v/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8964", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persistent run-cache directory (empty = in-memory only)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		maxQueue = flag.Int("max-queue", 64, "jobs admitted beyond the running ones before shedding 429s (negative = none)")
+		insts    = flag.Int("insts", 1_000_000, "default instructions per CPU when a request omits insts")
+	)
+	flag.Parse()
+
+	cache, err := runcache.New(runcache.Options{Dir: *cacheDir})
+	if err != nil {
+		fatal("%v", err)
+	}
+	srv, err := server.New(server.Config{
+		Cache:        cache,
+		Workers:      *workers,
+		MaxQueue:     *maxQueue,
+		DefaultInsts: *insts,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (cache-dir %q)\n", *addr, *cacheDir)
+
+	select {
+	case err := <-errc:
+		fatal("%v", err)
+	case <-ctx.Done():
+	}
+	// Drain: stop accepting, let in-flight runs finish (bounded).
+	fmt.Fprintln(os.Stderr, "simd: draining (in-flight runs finish; new connections refused)")
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fatal("drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "simd: drained, bye")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
@@ -98,13 +97,13 @@ func main() {
 	opt := core.RunOptions{Insts: *insts, Seed: *seed}
 
 	if *traceFile != "" {
-		runTraceFile(cfg, *traceFile, opt, *verbose)
+		runTraceFile(cfg, *traceFile, opt, *verbose, *jsonOut)
 		return
 	}
 
-	prof, ok := profileByName(*workloadName)
+	prof, ok := workload.ByName(*workloadName)
 	if !ok {
-		fatal("unknown -workload %q", *workloadName)
+		fatal("unknown -workload %q (have %v)", *workloadName, workload.Names())
 	}
 	if *cpus > 0 {
 		cfg = cfg.WithCPUs(*cpus)
@@ -138,25 +137,7 @@ func main() {
 	printReport(&r, *verbose)
 }
 
-func profileByName(name string) (workload.Profile, bool) {
-	switch strings.ToLower(name) {
-	case "specint95":
-		return workload.SPECint95(), true
-	case "specfp95":
-		return workload.SPECfp95(), true
-	case "specint2000":
-		return workload.SPECint2000(), true
-	case "specfp2000":
-		return workload.SPECfp2000(), true
-	case "tpcc":
-		return workload.TPCC(), true
-	case "tpcc16p":
-		return workload.TPCC16P(), true
-	}
-	return workload.Profile{}, false
-}
-
-func runTraceFile(cfg config.Config, path string, opt core.RunOptions, verbose bool) {
+func runTraceFile(cfg config.Config, path string, opt core.RunOptions, verbose, jsonOut bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -176,6 +157,12 @@ func runTraceFile(cfg config.Config, path string, opt core.RunOptions, verbose b
 	}
 	if rd.Err() != nil {
 		fatal("trace error: %v", rd.Err())
+	}
+	if jsonOut {
+		if err := r.WriteJSON(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 	printReport(&r, verbose)
 }

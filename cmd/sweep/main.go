@@ -15,9 +15,15 @@
 // "(incomplete)" in their presentation slot, and the process exits
 // non-zero.
 //
+// With -cache-dir the sweep reads and writes the content-addressed run
+// cache (internal/runcache): an aborted sweep's completed runs are not
+// lost, and a warm cache regenerates EXPERIMENTS.md byte-identically
+// without simulating (Section 2.1's wall-clock rows are measured, not
+// simulated, so they always rerun but never change the rendered table).
+//
 // Example:
 //
-//	sweep -insts 1000000 -markdown > EXPERIMENTS.md
+//	sweep -insts 1000000 -markdown -cache-dir .simcache > EXPERIMENTS.md
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"sparc64v/internal/core"
 	"sparc64v/internal/expt"
+	"sparc64v/internal/runcache"
 	"sparc64v/internal/sched"
 )
 
@@ -42,6 +49,7 @@ func main() {
 		parallel = flag.Bool("parallel", true, "run independent simulations concurrently")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
 	)
 	flag.Parse()
 
@@ -57,6 +65,16 @@ func main() {
 	if !*parallel {
 		opt.Workers = 1
 	}
+	var cache *runcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = runcache.New(runcache.Options{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = cache
+	}
 	expt.MeterReset()
 	t0 := time.Now()
 	results, err := expt.AllContext(ctx, opt)
@@ -64,10 +82,14 @@ func main() {
 	// Completed studies render even when the sweep was cut short; the
 	// missing ones carry "(incomplete)" markers from AllContext.
 	if *markdown {
+		// The preamble carries no wall time or worker count: given the
+		// same -insts and -seed the whole file is byte-identical across
+		// hosts, worker counts, and cache state (timing goes to stderr).
 		fmt.Printf("# EXPERIMENTS — paper vs. reproduced\n\n")
-		fmt.Printf("Regenerated with `go run ./cmd/sweep -insts %d -markdown` ", *insts)
-		fmt.Printf("(runtime %s, %d workers).\n\n", wall.Round(time.Second),
-			sched.Workers(opt.Workers))
+		fmt.Printf("Regenerated with `go run ./cmd/sweep -insts %d -markdown`.\n", *insts)
+		fmt.Printf("Add `-cache-dir <dir>` to reuse prior runs: only changed studies\n")
+		fmt.Printf("re-simulate, and a fully warm cache regenerates this file without\n")
+		fmt.Printf("running the simulator at all.\n\n")
 		fmt.Println("Absolute numbers are not comparable to the paper (the workloads are")
 		fmt.Println("synthetic substitutes; see DESIGN.md). The reproduction target is the")
 		fmt.Println("*shape* of each comparison: who wins, roughly by how much, and where")
@@ -89,7 +111,7 @@ func main() {
 			fmt.Println(r.String())
 		}
 	}
-	summarize(results, wall, sched.Workers(opt.Workers))
+	summarize(results, wall, sched.Workers(opt.Workers), cache)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -105,7 +127,7 @@ func main() {
 
 // summarize prints the per-study wall times and the sweep's effective
 // simulated-instruction throughput to stderr.
-func summarize(results []expt.Result, wall time.Duration, workers int) {
+func summarize(results []expt.Result, wall time.Duration, workers int, cache *runcache.Cache) {
 	fmt.Fprintf(os.Stderr, "sweep: study wall times (%d workers, studies overlap):\n", workers)
 	for _, r := range results {
 		if r.Elapsed <= 0 {
@@ -119,4 +141,11 @@ func summarize(results []expt.Result, wall time.Duration, workers int) {
 		"sweep: done in %s: %d runs, %.1fM instrs simulated, %.0f effective sim-instrs/s\n",
 		wall.Round(time.Millisecond), runs, float64(instrs)/1e6,
 		float64(instrs)/wall.Seconds())
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Fprintf(os.Stderr,
+			"sweep: cache: %d hits (%d memory, %d disk), %d shared, %d misses, %.1fM instrs served from cache\n",
+			s.Hits(), s.MemoryHits, s.DiskHits, s.Shared, s.Misses,
+			float64(s.HitInstructions)/1e6)
+	}
 }

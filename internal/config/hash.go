@@ -1,0 +1,61 @@
+package config
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Content addressing for configurations. A simulation result is fully
+// determined by (configuration, workload, seed, model version); hashing a
+// canonical serialization of the configuration gives every run a stable
+// identity that survives process restarts and struct-field reordering, so
+// results can be cached and deduplicated (internal/runcache) the way the
+// paper's team re-ran the same model thousands of times across parameter
+// variants.
+
+// CanonicalJSON marshals v and rewrites the result into canonical form:
+// object keys sorted, no insignificant whitespace, numbers preserved
+// exactly as encoding/json emitted them (shortest round-trip form). Two
+// value-identical inputs always produce identical bytes, regardless of
+// struct field declaration order or map iteration order.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("config: canonical marshal: %w", err)
+	}
+	// Round-trip through an untyped tree: json.Marshal sorts map keys, and
+	// json.Number keeps every numeric literal byte-exact.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("config: canonicalize: %w", err)
+	}
+	out, err := json.Marshal(tree)
+	if err != nil {
+		return nil, fmt.Errorf("config: canonicalize: %w", err)
+	}
+	return out, nil
+}
+
+// HashJSON returns the hex SHA-256 of v's canonical JSON.
+func HashJSON(v any) (string, error) {
+	b, err := CanonicalJSON(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Canonical returns the configuration's canonical JSON serialization.
+func (c Config) Canonical() ([]byte, error) { return CanonicalJSON(c) }
+
+// Hash returns the hex SHA-256 of the canonical serialization: the
+// configuration's content address. Equal values hash equal; any
+// single-field change hashes different; the value is stable across
+// processes and hosts (see TestConfigHashGolden).
+func (c Config) Hash() (string, error) { return HashJSON(c) }

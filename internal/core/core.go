@@ -9,14 +9,42 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"sparc64v/internal/config"
+	"sparc64v/internal/runcache"
 	"sparc64v/internal/sched"
 	"sparc64v/internal/stats"
 	"sparc64v/internal/system"
 	"sparc64v/internal/trace"
 	"sparc64v/internal/workload"
 )
+
+// ModelVersion identifies the simulator's timing semantics for the run
+// cache (internal/runcache): a cached result is only reused by the exact
+// version that produced it. Bump this on ANY change that can alter
+// simulation output — timing fixes, new counters, workload-generator
+// changes — or stale results will be served as current ones.
+const ModelVersion = "sparc64v-model/3"
+
+// Simulation meter: committed instructions, cycles and runs actually
+// simulated in this process (cache-served results do not count). The sweep
+// reports effective sim-instrs/s from it; the simd service exposes it on
+// /metrics. Atomics: simulations run concurrently on the scheduler.
+var (
+	meterInstrs atomic.Uint64
+	meterCycles atomic.Uint64
+	meterRuns   atomic.Uint64
+)
+
+// MeterReset zeroes the simulation meter.
+func MeterReset() { meterInstrs.Store(0); meterCycles.Store(0); meterRuns.Store(0) }
+
+// Meter returns committed instructions, simulated cycles and simulation
+// runs accumulated since the last reset.
+func Meter() (instrs, cycles, runs uint64) {
+	return meterInstrs.Load(), meterCycles.Load(), meterRuns.Load()
+}
 
 // Model is a machine configuration ready to run workloads.
 type Model struct {
@@ -54,6 +82,14 @@ type RunOptions struct {
 	// run. It never changes results — every job owns its model and trace
 	// state, and results are assembled in submission order.
 	Workers int
+	// Cache, when non-nil, serves profile-based runs content-addressed:
+	// the result of an identical (configuration, workload, seed, insts,
+	// model version) run is returned from the cache instead of being
+	// re-simulated, and concurrent identical runs share one simulation.
+	// Results are byte-identical either way (see runcache). Trace-file
+	// runs (RunSources*) are never cached — a file has no stable content
+	// key here.
+	Cache *runcache.Cache
 }
 
 func (o *RunOptions) defaults() {
@@ -81,8 +117,62 @@ func (m *Model) Run(p workload.Profile, opt RunOptions) (system.Report, error) {
 // RunContext is Run with a cancellation point: the simulation polls ctx on
 // a coarse cycle stride (system.RunContext) and returns a partial report
 // wrapped around ctx.Err() when cancelled mid-run.
+//
+// With opt.Cache set the run is content-addressed: a prior identical run's
+// report is returned without simulating, and concurrent identical runs
+// share one simulation. Failed or cancelled runs are never cached.
 func (m *Model) RunContext(ctx context.Context, p workload.Profile, opt RunOptions) (system.Report, error) {
 	opt.defaults()
+	if opt.Cache != nil {
+		if key, err := m.runKey(p, opt); err == nil {
+			rep, _, err := opt.Cache.GetOrRun(ctx, key, func(ctx context.Context) (system.Report, error) {
+				return m.runProfile(ctx, p, opt)
+			})
+			return rep, err
+		}
+		// Unhashable configuration (cannot happen for real Configs):
+		// degrade to an uncached run rather than failing it.
+	}
+	return m.runProfile(ctx, p, opt)
+}
+
+// RunKey is the content address RunContext files the run under. Callers
+// that drive the cache themselves (the experiment server, which inserts
+// admission control between the cache and the simulator) use it so their
+// entries stay interchangeable with runs cached directly through
+// RunContext.
+func (m *Model) RunKey(p workload.Profile, opt RunOptions) (runcache.Key, error) {
+	opt.defaults()
+	return m.runKey(p, opt)
+}
+
+// runKey builds the run's content address. The effective warmup is part of
+// the hashed configuration (it changes measured cycles); the profile is
+// hashed in full so two profiles sharing a display name cannot collide.
+func (m *Model) runKey(p workload.Profile, opt RunOptions) (runcache.Key, error) {
+	cfg := m.cfg
+	cfg.WarmupInsts = opt.Warmup
+	ch, err := cfg.Hash()
+	if err != nil {
+		return runcache.Key{}, err
+	}
+	ph, err := config.HashJSON(p)
+	if err != nil {
+		return runcache.Key{}, err
+	}
+	return runcache.Key{
+		ConfigHash:  ch,
+		Workload:    p.Name,
+		ProfileHash: ph,
+		Seed:        opt.Seed,
+		Insts:       opt.Insts,
+		Version:     ModelVersion,
+	}, nil
+}
+
+// runProfile generates the profile's traces and simulates them (the
+// uncached path under RunContext).
+func (m *Model) runProfile(ctx context.Context, p workload.Profile, opt RunOptions) (system.Report, error) {
 	gens := workload.NewMP(p, opt.Seed, m.cfg.CPUs)
 	srcs := make([]trace.Source, len(gens))
 	for i, g := range gens {
@@ -110,6 +200,9 @@ func (m *Model) RunSourcesContext(ctx context.Context, label string, srcs []trac
 	_, capped, cerr := sys.RunContext(ctx, opt.MaxCycles)
 	r := sys.Report(label)
 	r.HitCap = capped
+	meterInstrs.Add(r.Committed)
+	meterCycles.Add(r.Cycles)
+	meterRuns.Add(1)
 	if cerr != nil {
 		return r, fmt.Errorf("core: %s/%s cancelled: %w", m.cfg.Name, label, cerr)
 	}

@@ -147,12 +147,14 @@ func TestHPCStudy(t *testing.T) {
 
 func TestModelSpeed(t *testing.T) {
 	r := ModelSpeed(testOpt())
-	// Two per-workload rows plus the scheduled-aggregate row.
-	if r.Table.Rows() != 3 {
+	// One calibration row per UP workload.
+	if r.Table.Rows() != 5 {
 		t.Fatalf("rows: %d", r.Table.Rows())
 	}
-	if !strings.Contains(r.Table.String(), "workers") {
-		t.Error("ModelSpeed missing the aggregate-throughput row")
+	// The rendered table must be deterministic (no wall-clock columns):
+	// rendering twice gives the same bytes.
+	if a, b := r.Table.String(), ModelSpeed(testOpt()).Table.String(); a != b {
+		t.Error("ModelSpeed table is not deterministic across runs")
 	}
 }
 
@@ -167,13 +169,13 @@ func TestAllContextPreCancelled(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("AllContext err = %v", err)
 	}
-	all := studies()
+	all := Studies()
 	if len(results) != len(all) {
 		t.Fatalf("got %d results, want one marker per study (%d)", len(results), len(all))
 	}
 	for i, r := range results {
-		if r.ID != all[i].name {
-			t.Errorf("slot %d: ID %q, want %q", i, r.ID, all[i].name)
+		if r.ID != all[i].Name {
+			t.Errorf("slot %d: ID %q, want %q", i, r.ID, all[i].Name)
 		}
 		if r.Title != "(incomplete)" {
 			t.Errorf("slot %d: Title %q, want (incomplete)", i, r.Title)
@@ -201,8 +203,8 @@ func TestAllContextMidCancel(t *testing.T) {
 	if d := time.Since(start); d > 30*time.Second {
 		t.Fatalf("cancelled sweep took %v to return", d)
 	}
-	if len(results) < len(studies()) {
-		t.Fatalf("only %d results for %d studies", len(results), len(studies()))
+	if len(results) < len(Studies()) {
+		t.Fatalf("only %d results for %d studies", len(results), len(Studies()))
 	}
 	incomplete := 0
 	for _, r := range results {

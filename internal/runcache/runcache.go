@@ -1,0 +1,358 @@
+// Package runcache is a deterministic, content-addressed cache for
+// simulation results.
+//
+// The paper's methodology re-ran the same trace-driven model thousands of
+// times across parameter variants from pre-RTL studies through silicon
+// verification; most of those runs repeat earlier ones exactly. A run here
+// is fully determined by (configuration, workload, seed, trace length,
+// model version), so its result can be addressed by a canonical hash of
+// that tuple (internal/config's Canonical()/Hash() layer) and served from a
+// cache instead of re-simulated.
+//
+// The cache is two-tiered: a bounded in-memory LRU for hot entries, and an
+// optional on-disk tier (one JSON file per entry, written atomically via
+// temp-file + rename) that makes sweeps incremental across process runs.
+// Disk entries carry a checksum envelope; a partially written or corrupted
+// file is detected, discarded, and treated as a miss — never returned as a
+// wrong result. Concurrent requests for the same key share one underlying
+// simulation (singleflight dedup), which is what lets an HTTP service
+// absorb a burst of identical requests with a single model run.
+package runcache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"sparc64v/internal/system"
+)
+
+// Key identifies one simulation run by content, not by name: every field
+// that can change the result participates. ConfigHash covers the whole
+// machine configuration including warmup (config.Config.Hash over the
+// effective config); ProfileHash covers the synthetic workload's
+// statistical description, so two profiles that share a display name but
+// differ in shape never collide. Version is the model version
+// (core.ModelVersion) — bumping it invalidates every prior entry when the
+// simulator's timing semantics change.
+type Key struct {
+	ConfigHash  string `json:"config_hash"`
+	Workload    string `json:"workload"`
+	ProfileHash string `json:"profile_hash"`
+	Seed        int64  `json:"seed"`
+	Insts       int    `json:"insts"`
+	Version     string `json:"version"`
+}
+
+// ID returns the key's content address: a hex SHA-256 over an unambiguous
+// (length-prefix-free, NUL-separated) serialization of the fields. It is
+// stable across processes and hosts.
+func (k Key) ID() string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "%s\x00%s\x00%s\x00%d\x00%d\x00%s",
+		k.ConfigHash, k.Workload, k.ProfileHash, k.Seed, k.Insts, k.Version))
+	return hex.EncodeToString(sum[:])
+}
+
+// Outcome classifies how a GetOrRun request was served.
+type Outcome int
+
+const (
+	// OutcomeMemoryHit: served from the in-memory LRU tier.
+	OutcomeMemoryHit Outcome = iota
+	// OutcomeDiskHit: served from the on-disk tier (and promoted).
+	OutcomeDiskHit
+	// OutcomeMiss: simulated by this request's runner.
+	OutcomeMiss
+	// OutcomeShared: joined another request's in-flight simulation.
+	OutcomeShared
+)
+
+// Cached reports whether the outcome avoided running a new simulation in
+// this request (hits and shared flights).
+func (o Outcome) Cached() bool { return o != OutcomeMiss }
+
+// String names the outcome for responses and logs.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMemoryHit:
+		return "hit"
+	case OutcomeDiskHit:
+		return "hit-disk"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeShared:
+		return "dedup"
+	}
+	return "outcome?"
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Dir is the on-disk tier's directory; "" disables the disk tier
+	// (memory-only cache). The directory is created if missing.
+	Dir string
+	// MaxMemEntries bounds the in-memory LRU tier; <= 0 means 512.
+	// Evicted entries remain on disk (when a Dir is set) and re-enter
+	// memory on their next access.
+	MaxMemEntries int
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// MemoryHits and DiskHits count requests served from each tier.
+	MemoryHits, DiskHits uint64
+	// Misses counts requests that ran a new simulation.
+	Misses uint64
+	// Shared counts requests that joined an in-flight simulation.
+	Shared uint64
+	// Errors counts runner failures (never cached).
+	Errors uint64
+	// Corrupt counts disk entries rejected by the integrity checks
+	// (partial writes, bit flips, key mismatches) and discarded.
+	Corrupt uint64
+	// Evictions counts LRU evictions from the memory tier.
+	Evictions uint64
+	// HitInstructions accumulates the committed instructions of every
+	// cache-served report — simulation work avoided, in instructions.
+	HitInstructions uint64
+}
+
+// Hits returns the total cache-served requests (both tiers + shared).
+func (s Stats) Hits() uint64 { return s.MemoryHits + s.DiskHits + s.Shared }
+
+// flight is one in-progress simulation that identical concurrent requests
+// attach to.
+type flight struct {
+	done chan struct{}
+	rep  system.Report
+	err  error
+}
+
+// memEntry is one LRU node.
+type memEntry struct {
+	id  string
+	rep system.Report
+}
+
+// Cache is the two-tier result cache. All methods are safe for concurrent
+// use.
+type Cache struct {
+	dir    string
+	maxMem int
+
+	mu      sync.Mutex
+	mem     map[string]*lruNode
+	front   *lruNode // most recently used
+	back    *lruNode // least recently used
+	n       int
+	flights map[string]*flight
+	stats   Stats
+}
+
+// lruNode is an intrusive doubly-linked LRU list node.
+type lruNode struct {
+	prev, next *lruNode
+	memEntry
+}
+
+// New builds a cache, creating the disk directory when one is configured.
+func New(o Options) (*Cache, error) {
+	if o.MaxMemEntries <= 0 {
+		o.MaxMemEntries = 512
+	}
+	c := &Cache{
+		dir:     o.Dir,
+		maxMem:  o.MaxMemEntries,
+		mem:     make(map[string]*lruNode),
+		flights: make(map[string]*flight),
+	}
+	if o.Dir != "" {
+		if err := ensureDir(o.Dir); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of entries in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// cloneReport detaches the report from cache-internal storage so callers
+// can't alias each other through the shared CPUs slice.
+func cloneReport(r system.Report) system.Report {
+	if r.CPUs != nil {
+		cp := make([]system.CPUReport, len(r.CPUs))
+		copy(cp, r.CPUs)
+		r.CPUs = cp
+	}
+	return r
+}
+
+// Get returns the cached report for key, consulting memory then disk,
+// without running anything on a miss.
+func (c *Cache) Get(key Key) (system.Report, bool) {
+	id := key.ID()
+	c.mu.Lock()
+	if n, ok := c.mem[id]; ok {
+		c.moveToFront(n)
+		c.stats.MemoryHits++
+		c.stats.HitInstructions += n.rep.Committed
+		rep := cloneReport(n.rep)
+		c.mu.Unlock()
+		return rep, true
+	}
+	c.mu.Unlock()
+	if rep, ok := c.loadDisk(id, key); ok {
+		c.mu.Lock()
+		c.insert(id, rep)
+		c.stats.DiskHits++
+		c.stats.HitInstructions += rep.Committed
+		c.mu.Unlock()
+		return cloneReport(rep), true
+	}
+	return system.Report{}, false
+}
+
+// GetOrRun returns the cached report for key, or executes run exactly once
+// to produce it. Concurrent calls with the same key share one execution:
+// the first caller becomes the leader and runs with its own context; later
+// callers block until the leader finishes (or their own context is
+// cancelled) and receive the leader's result with OutcomeShared. Failed
+// runs are never cached — the error propagates to the leader and every
+// waiter, and the next request retries.
+func (c *Cache) GetOrRun(ctx context.Context, key Key, run func(context.Context) (system.Report, error)) (system.Report, Outcome, error) {
+	id := key.ID()
+	c.mu.Lock()
+	if n, ok := c.mem[id]; ok {
+		c.moveToFront(n)
+		c.stats.MemoryHits++
+		c.stats.HitInstructions += n.rep.Committed
+		rep := cloneReport(n.rep)
+		c.mu.Unlock()
+		return rep, OutcomeMemoryHit, nil
+	}
+	if f, ok := c.flights[id]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return system.Report{}, OutcomeShared, f.err
+			}
+			c.mu.Lock()
+			c.stats.HitInstructions += f.rep.Committed
+			c.mu.Unlock()
+			return cloneReport(f.rep), OutcomeShared, nil
+		case <-ctx.Done():
+			return system.Report{}, OutcomeShared, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[id] = f
+	c.mu.Unlock()
+
+	rep, outcome, err := c.lead(ctx, id, key, run)
+	f.rep, f.err = rep, err
+	c.mu.Lock()
+	delete(c.flights, id)
+	switch {
+	case err != nil:
+		c.stats.Errors++
+	default:
+		c.insert(id, rep)
+		if outcome == OutcomeDiskHit {
+			c.stats.DiskHits++
+			c.stats.HitInstructions += rep.Committed
+		} else {
+			c.stats.Misses++
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return rep, outcome, err
+	}
+	return cloneReport(rep), outcome, nil
+}
+
+// lead is the flight leader's path: disk tier first, then the runner. A
+// successful simulation is persisted to disk before the flight completes.
+func (c *Cache) lead(ctx context.Context, id string, key Key, run func(context.Context) (system.Report, error)) (system.Report, Outcome, error) {
+	if rep, ok := c.loadDisk(id, key); ok {
+		return rep, OutcomeDiskHit, nil
+	}
+	rep, err := run(ctx)
+	if err != nil {
+		return rep, OutcomeMiss, err
+	}
+	c.storeDisk(id, key, rep)
+	return rep, OutcomeMiss, nil
+}
+
+// ---- memory LRU tier (callers hold c.mu) ----
+
+func (c *Cache) insert(id string, rep system.Report) {
+	if n, ok := c.mem[id]; ok {
+		n.rep = rep
+		c.moveToFront(n)
+		return
+	}
+	n := &lruNode{memEntry: memEntry{id: id, rep: cloneReport(rep)}}
+	c.mem[id] = n
+	c.pushFront(n)
+	c.n++
+	for c.n > c.maxMem {
+		old := c.back
+		c.unlink(old)
+		delete(c.mem, old.id)
+		c.n--
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.front
+	if c.front != nil {
+		c.front.prev = n
+	}
+	c.front = n
+	if c.back == nil {
+		c.back = n
+	}
+}
+
+func (c *Cache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.front = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.back = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache) moveToFront(n *lruNode) {
+	if c.front == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,396 @@
+// Package server exposes the simulator as a small HTTP service: a
+// content-addressed run endpoint, the experiment-study harness, a health
+// probe, and a Prometheus-style text metrics page.
+//
+// The service is deliberately stdlib-only. Admission control is two-stage:
+// a request that needs a fresh simulation first takes a queue token
+// (non-blocking — when the queue is full the request is shed with 429
+// before any simulation work starts) and then a worker slot (blocking —
+// this bounds concurrent simulations). Cache hits and deduplicated joiners
+// never touch the queue: only the singleflight leader of a missing key
+// pays for admission, so a burst of identical requests costs one slot.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/core"
+	"sparc64v/internal/expt"
+	"sparc64v/internal/runcache"
+	"sparc64v/internal/sched"
+	"sparc64v/internal/system"
+	"sparc64v/internal/workload"
+)
+
+// ErrOverloaded is returned by the admission gate when the queue is full;
+// the handlers translate it to 429.
+var ErrOverloaded = errors.New("server overloaded: queue full")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Cache serves repeated runs; required.
+	Cache *runcache.Cache
+	// Base is the configuration request overlays start from; the zero
+	// value means config.Base().
+	Base config.Config
+	// Workers bounds concurrent simulations; 0 means sched.Workers().
+	Workers int
+	// MaxQueue bounds admitted-but-not-yet-running jobs beyond Workers;
+	// 0 means 64. A negative value means no waiting room (admit only up
+	// to Workers).
+	MaxQueue int
+	// DefaultInsts is the per-CPU trace length when a request does not
+	// specify one; 0 means 1,000,000 (the repo's standard sweep length).
+	DefaultInsts int
+}
+
+// Server implements the HTTP handlers. Construct with New; serve
+// Handler() from an http.Server the caller owns (so the caller controls
+// listening and graceful Shutdown).
+type Server struct {
+	cache        *runcache.Cache
+	base         config.Config
+	workers      int
+	maxQueue     int
+	defaultInsts int
+
+	// queue holds every admitted simulation (waiting or running); cap
+	// workers+maxQueue. working holds running simulations; cap workers.
+	queue   chan struct{}
+	working chan struct{}
+
+	runRequests   atomic.Uint64
+	studyRequests atomic.Uint64
+	rejected      atomic.Uint64
+
+	// simulate runs one uncached simulation; tests substitute a scripted
+	// implementation to pin admission and drain behavior without
+	// simulating.
+	simulate func(ctx context.Context, m *core.Model, p workload.Profile, opt core.RunOptions) (system.Report, error)
+
+	mux *http.ServeMux
+}
+
+// New builds a Server.
+func New(c Config) (*Server, error) {
+	if c.Cache == nil {
+		return nil, errors.New("server: Config.Cache is required")
+	}
+	if c.Base.Name == "" {
+		c.Base = config.Base()
+	}
+	c.Workers = sched.Workers(c.Workers)
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 64
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.DefaultInsts <= 0 {
+		c.DefaultInsts = 1_000_000
+	}
+	s := &Server{
+		cache:        c.Cache,
+		base:         c.Base,
+		workers:      c.Workers,
+		maxQueue:     c.MaxQueue,
+		defaultInsts: c.DefaultInsts,
+		queue:        make(chan struct{}, c.Workers+c.MaxQueue),
+		working:      make(chan struct{}, c.Workers),
+		simulate: func(ctx context.Context, m *core.Model, p workload.Profile, opt core.RunOptions) (system.Report, error) {
+			return m.RunContext(ctx, p, opt)
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/studies/{id}", s.handleStudy)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admit reserves capacity for one simulation. It returns ErrOverloaded
+// immediately when the queue is full, otherwise blocks until a worker slot
+// frees (or ctx is cancelled). The returned release frees both.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case s.working <- struct{}{}:
+	case <-ctx.Done():
+		<-s.queue
+		return nil, ctx.Err()
+	}
+	return func() { <-s.working; <-s.queue }, nil
+}
+
+// RunRequest is the POST /v1/run body. Config, when present, is a strict
+// partial overlay on the server's base configuration: fields present
+// override, absent fields keep their base value, unknown fields are a 400.
+type RunRequest struct {
+	Workload string          `json:"workload"`
+	Insts    int             `json:"insts,omitempty"`
+	Seed     int64           `json:"seed,omitempty"`
+	Warmup   uint64          `json:"warmup,omitempty"`
+	CPUs     int             `json:"cpus,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+}
+
+// RunResponse is the POST /v1/run reply. Stats is the same system.Summary
+// the sparc64sim -json flag emits, so server and CLI output share one
+// encoder.
+type RunResponse struct {
+	Key   string         `json:"key"`
+	Cache string         `json:"cache"`
+	Stats system.Summary `json:"stats"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.runRequests.Add(1)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	prof, ok := workload.ByName(req.Workload)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown workload %q (have %v)", req.Workload, workload.Names())
+		return
+	}
+	cfg := s.base
+	if len(req.Config) > 0 {
+		// Same strict overlay semantics as sparc64sim -config: present
+		// fields override, unknown fields are rejected, the result is
+		// validated.
+		var err error
+		cfg, err = config.OverlayJSON(cfg, bytes.NewReader(req.Config))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad config overlay: %v", err)
+			return
+		}
+	}
+	switch {
+	case req.CPUs > 0:
+		cfg = cfg.WithCPUs(req.CPUs)
+	case prof.SharedBytes > 0 && cfg.CPUs <= 1:
+		// Mirror the sparc64sim CLI: MP workloads default to the
+		// paper's 16-processor system.
+		cfg = cfg.WithCPUs(16)
+	}
+	if req.Insts < 0 {
+		httpError(w, http.StatusBadRequest, "insts must be >= 0")
+		return
+	}
+	opt := core.RunOptions{
+		Insts:  req.Insts,
+		Seed:   req.Seed,
+		Warmup: req.Warmup,
+		// One request is one job: harness fan-out stays with the
+		// admission gate, not inside a single run.
+		Workers: 1,
+	}
+	if opt.Insts == 0 {
+		opt.Insts = s.defaultInsts
+	}
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad configuration: %v", err)
+		return
+	}
+	key, err := m.RunKey(prof, opt)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "hash run: %v", err)
+		return
+	}
+	rep, outcome, err := s.cache.GetOrRun(r.Context(), key, func(ctx context.Context) (system.Report, error) {
+		release, err := s.admit(ctx)
+		if err != nil {
+			return system.Report{}, err
+		}
+		defer release()
+		return s.simulate(ctx, m, prof, opt)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusServiceUnavailable, "run cancelled: %v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "run failed: %v", err)
+		}
+		return
+	}
+	writeJSON(w, RunResponse{Key: key.ID(), Cache: outcome.String(), Stats: rep.Summary()})
+}
+
+// StudyResponse is the GET /v1/studies/{id} reply.
+type StudyResponse struct {
+	Study   string        `json:"study"`
+	Results []StudyResult `json:"results"`
+}
+
+// StudyResult is one rendered paper artifact.
+type StudyResult struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Table string   `json:"table"`
+	Chart string   `json:"chart,omitempty"`
+	Notes []string `json:"notes,omitempty"`
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	s.studyRequests.Add(1)
+	id := r.PathValue("id")
+	var study expt.Study
+	found := false
+	var slugs []string
+	for _, st := range expt.Studies() {
+		slugs = append(slugs, st.Slug())
+		if st.Slug() == id {
+			study, found = st, true
+		}
+	}
+	if !found {
+		sort.Strings(slugs)
+		httpError(w, http.StatusNotFound, "unknown study %q (have %v)", id, slugs)
+		return
+	}
+	opt := core.RunOptions{
+		Insts:   s.defaultInsts,
+		Workers: s.workers,
+		Cache:   s.cache,
+	}
+	if v := r.URL.Query().Get("insts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad insts %q", v)
+			return
+		}
+		opt.Insts = n
+	}
+	if v := r.URL.Query().Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		opt.Seed = n
+	}
+	// A study is one admitted job however many runs it fans out to; its
+	// internal fan-out reuses the server's worker budget via opt.Workers.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			httpError(w, http.StatusServiceUnavailable, "cancelled: %v", err)
+		}
+		return
+	}
+	defer release()
+	results, err := study.Run(r.Context(), opt)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "study failed: %v", err)
+		return
+	}
+	resp := StudyResponse{Study: id}
+	for i := range results {
+		res := &results[i]
+		sr := StudyResult{ID: res.ID, Title: res.Title, Chart: res.Chart, Notes: res.Notes}
+		if res.Table != nil {
+			sr.Table = res.Table.String()
+		}
+		resp.Results = append(resp.Results, sr)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.cache.Stats()
+	instrs, cycles, runs := core.Meter()
+	inflight := len(s.working)
+	queued := len(s.queue) - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b []byte
+	emit := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	emit("# HELP sparc64v_requests_total HTTP requests received per endpoint.\n")
+	emit("# TYPE sparc64v_requests_total counter\n")
+	emit("sparc64v_requests_total{endpoint=\"run\"} %d\n", s.runRequests.Load())
+	emit("sparc64v_requests_total{endpoint=\"study\"} %d\n", s.studyRequests.Load())
+	emit("# HELP sparc64v_rejected_total Requests shed with 429 because the queue was full.\n")
+	emit("# TYPE sparc64v_rejected_total counter\n")
+	emit("sparc64v_rejected_total %d\n", s.rejected.Load())
+	emit("# HELP sparc64v_cache_hits_total Run-cache hits by tier.\n")
+	emit("# TYPE sparc64v_cache_hits_total counter\n")
+	emit("sparc64v_cache_hits_total{tier=\"memory\"} %d\n", cs.MemoryHits)
+	emit("sparc64v_cache_hits_total{tier=\"disk\"} %d\n", cs.DiskHits)
+	emit("# HELP sparc64v_cache_misses_total Run-cache misses (simulations started).\n")
+	emit("# TYPE sparc64v_cache_misses_total counter\n")
+	emit("sparc64v_cache_misses_total %d\n", cs.Misses)
+	emit("# HELP sparc64v_cache_shared_total Requests that joined an in-flight identical run.\n")
+	emit("# TYPE sparc64v_cache_shared_total counter\n")
+	emit("sparc64v_cache_shared_total %d\n", cs.Shared)
+	emit("# HELP sparc64v_cache_corrupt_total Disk entries rejected by integrity checks.\n")
+	emit("# TYPE sparc64v_cache_corrupt_total counter\n")
+	emit("sparc64v_cache_corrupt_total %d\n", cs.Corrupt)
+	emit("# HELP sparc64v_cache_entries Entries in the in-memory tier.\n")
+	emit("# TYPE sparc64v_cache_entries gauge\n")
+	emit("sparc64v_cache_entries %d\n", s.cache.Len())
+	emit("# HELP sparc64v_inflight_runs Simulations currently running.\n")
+	emit("# TYPE sparc64v_inflight_runs gauge\n")
+	emit("sparc64v_inflight_runs %d\n", inflight)
+	emit("# HELP sparc64v_queue_depth Admitted jobs waiting for a worker slot.\n")
+	emit("# TYPE sparc64v_queue_depth gauge\n")
+	emit("sparc64v_queue_depth %d\n", queued)
+	emit("# HELP sparc64v_simulated_instructions_total Instructions committed by simulations in this process.\n")
+	emit("# TYPE sparc64v_simulated_instructions_total counter\n")
+	emit("sparc64v_simulated_instructions_total %d\n", instrs)
+	emit("# HELP sparc64v_simulated_cycles_total Cycles simulated in this process.\n")
+	emit("# TYPE sparc64v_simulated_cycles_total counter\n")
+	emit("sparc64v_simulated_cycles_total %d\n", cycles)
+	emit("# HELP sparc64v_simulated_runs_total Simulations completed in this process.\n")
+	emit("# TYPE sparc64v_simulated_runs_total counter\n")
+	emit("sparc64v_simulated_runs_total %d\n", runs)
+	w.Write(b)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

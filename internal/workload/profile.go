@@ -16,7 +16,11 @@
 // (prefetchability), and MP data sharing. See DESIGN.md "Substitutions".
 package workload
 
-import "sparc64v/internal/isa"
+import (
+	"strings"
+
+	"sparc64v/internal/isa"
+)
 
 // RegionKind classifies a data region's access pattern.
 type RegionKind uint8
@@ -311,4 +315,32 @@ func HPC() Profile {
 // in presentation order.
 func UPProfiles() []Profile {
 	return []Profile{SPECint95(), SPECfp95(), SPECint2000(), SPECfp2000(), TPCC()}
+}
+
+// ByName resolves a workload by its canonical lowercase name. It is the
+// single lookup shared by the CLI tools and the experiment server, so the
+// name accepted on the command line and in POST /v1/run bodies is the same.
+func ByName(name string) (Profile, bool) {
+	switch strings.ToLower(name) {
+	case "specint95":
+		return SPECint95(), true
+	case "specfp95":
+		return SPECfp95(), true
+	case "specint2000":
+		return SPECint2000(), true
+	case "specfp2000":
+		return SPECfp2000(), true
+	case "tpcc":
+		return TPCC(), true
+	case "tpcc16p":
+		return TPCC16P(), true
+	case "hpc":
+		return HPC(), true
+	}
+	return Profile{}, false
+}
+
+// Names lists the workloads ByName resolves, for error messages and docs.
+func Names() []string {
+	return []string{"specint95", "specfp95", "specint2000", "specfp2000", "tpcc", "tpcc16p", "hpc"}
 }
