@@ -7,7 +7,7 @@ INSTS ?= 1000000
 # with unchanged config+workload+seed+model are served without simulating.
 CACHE_DIR ?= .simcache
 
-.PHONY: build test race bench sweep accuracy serve smoke clean
+.PHONY: build test race bench sweep accuracy serve smoke verify verify-quick clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ serve:
 # cache hit via /metrics, and drains it with SIGINT.
 smoke:
 	./scripts/smoke.sh
+
+# Metamorphic cross-verification harness (internal/metamorph, cmd/verify):
+# monotonicity, conservation, and differential invariants over the model.
+# verify-quick is the CI merge gate and writes the machine-readable verdict
+# report CI uploads as an artifact; verify runs the whole catalog on every
+# workload. See DESIGN.md "Verification".
+verify-quick:
+	$(GO) run ./cmd/verify -quick -json verify-report.json
+
+verify:
+	$(GO) run ./cmd/verify -full -json verify-report.json
 
 clean:
 	$(GO) clean ./...

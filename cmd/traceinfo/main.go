@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sparc64v/internal/isa"
@@ -17,20 +18,34 @@ import (
 )
 
 func main() {
-	head := flag.Int("head", 0, "print the first N records")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-head N] <trace.s64v>")
-		os.Exit(1)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, summarizes the
+// trace, and returns the process exit code. Decode errors — including a
+// corrupt or truncated gzip stream, which OpenReader surfaces through
+// Err() after the records end — are reported on stderr with exit code 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	head := fs.Int("head", 0, "print the first N records")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: traceinfo [-head N] <trace.s64v>")
+		return 1
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	rd, err := trace.OpenReader(f)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+		return 1
 	}
 
 	var (
@@ -45,7 +60,7 @@ func main() {
 	)
 	for rd.Next(&r) {
 		if printed < *head {
-			fmt.Println(r.String())
+			fmt.Fprintln(stdout, r.String())
 			printed++
 		}
 		total++
@@ -62,10 +77,11 @@ func main() {
 		}
 	}
 	if rd.Err() != nil {
-		fatal("decode: %v", rd.Err())
+		fmt.Fprintf(stderr, "traceinfo: decode: %v\n", rd.Err())
+		return 1
 	}
 
-	t := stats.NewTable(fmt.Sprintf("%s: %d records", flag.Arg(0), total),
+	t := stats.NewTable(fmt.Sprintf("%s: %d records", fs.Arg(0), total),
 		"class", "count", "fraction")
 	for c := isa.Class(0); c.Valid(); c++ {
 		if byClass[c] == 0 {
@@ -73,14 +89,10 @@ func main() {
 		}
 		t.AddRow(c.String(), byClass[c], stats.Ratio(byClass[c], total))
 	}
-	fmt.Print(t.String())
-	fmt.Printf("code footprint: %d KB (64B lines touched)\n", len(codeLines)*64/1024)
-	fmt.Printf("data footprint: %d KB (64B lines touched)\n", len(dataLines)*64/1024)
-	fmt.Printf("branches: %d (%.1f%% of instrs), taken %.1f%%\n",
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintf(stdout, "code footprint: %d KB (64B lines touched)\n", len(codeLines)*64/1024)
+	fmt.Fprintf(stdout, "data footprint: %d KB (64B lines touched)\n", len(dataLines)*64/1024)
+	fmt.Fprintf(stdout, "branches: %d (%.1f%% of instrs), taken %.1f%%\n",
 		branches, 100*stats.Ratio(branches, total), 100*stats.Ratio(taken, branches))
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

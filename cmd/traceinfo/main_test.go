@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparc64v/internal/trace"
+	"sparc64v/internal/workload"
+)
+
+// writeGzipTrace captures n records of the given profile into a
+// gzip-compressed trace file and returns the raw file bytes.
+func writeGzipTrace(t *testing.T, path string, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	w, err := trace.NewWriter(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workload.New(workload.SPECint95(), 1, 0)
+	var r trace.Record
+	for i := 0; i < n; i++ {
+		if !src.Next(&r) {
+			t.Fatal("workload source ran dry")
+		}
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunGzipTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.s64v.gz")
+	writeGzipTrace(t, path, 500)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-head", "3", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "500 records") {
+		t.Errorf("summary missing record count:\n%s", out)
+	}
+	if !strings.Contains(out, "code footprint") || !strings.Contains(out, "branches") {
+		t.Errorf("summary missing footprint/branch lines:\n%s", out)
+	}
+}
+
+// TestRunCorruptGzip is the regression test for corrupt compressed input:
+// a single flipped bit in the deflate body must surface as a decode error
+// and a non-zero exit, never as a silently shorter (or garbled) summary.
+// The flip lands mid-body, so it is caught either by record validation or
+// by the gzip CRC32 trailer check that OpenReader arms for gzip streams.
+func TestRunCorruptGzip(t *testing.T) {
+	dir := t.TempDir()
+	good := writeGzipTrace(t, filepath.Join(dir, "ok.s64v.gz"), 500)
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	path := filepath.Join(dir, "bad.s64v.gz")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run on bit-flipped gzip = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "traceinfo:") {
+		t.Errorf("error not surfaced on stderr: %q", stderr.String())
+	}
+}
+
+// TestRunTruncatedGzip cuts the gzip trailer off entirely: the records may
+// all decode, but the missing CRC32/ISIZE trailer must still fail the run.
+func TestRunTruncatedGzip(t *testing.T) {
+	dir := t.TempDir()
+	good := writeGzipTrace(t, filepath.Join(dir, "ok.s64v.gz"), 500)
+
+	path := filepath.Join(dir, "cut.s64v.gz")
+	if err := os.WriteFile(path, good[:len(good)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run on truncated gzip = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "decode:") {
+		t.Errorf("truncation not reported as decode error: %q", stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Errorf("run with no args = %d, want 1", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing")}, &stdout, &stderr); code != 1 {
+		t.Errorf("run on missing file = %d, want 1", code)
+	}
+}

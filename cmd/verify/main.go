@@ -1,0 +1,136 @@
+// Command verify runs the metamorphic cross-verification harness
+// (internal/metamorph) against the built-in model and workloads: the
+// repository's stand-in for the paper's logic-simulator cross-check, used
+// as a merge gate in CI.
+//
+//	verify -quick            # CI gate: subset of workloads, MP checks skipped
+//	verify -full             # whole catalog on every workload
+//	verify -json report.json # machine-readable verdicts ("-" for stdout)
+//	verify -inject l1index   # plant a model bug; the run must FAIL
+//
+// Exit status: 0 all checks passed, 1 at least one invariant violated,
+// 2 the harness itself could not run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sparc64v/internal/cache"
+	"sparc64v/internal/core"
+	"sparc64v/internal/metamorph"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "quick CI gate (default unless -full)")
+	full := fs.Bool("full", false, "full catalog on every workload")
+	seed := fs.Int64("seed", 42, "trace window seed")
+	insts := fs.Int("insts", 0, "per-run trace length (0 = mode default)")
+	workers := fs.Int("workers", 0, "concurrent checks (0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "write the JSON verdict report to this file (\"-\" = stdout)")
+	checks := fs.String("checks", "", "comma-separated check subset (default: whole mode catalog)")
+	inject := fs.String("inject", "", "inject a model fault (l1index) — the harness must catch it")
+	timeout := fs.Duration("timeout", 15*time.Minute, "abort the run after this long")
+	fs.Parse(os.Args[1:])
+
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "verify: -quick and -full are mutually exclusive")
+		return 2
+	}
+	fault, ok := cache.FaultByName(*inject)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "verify: unknown fault %q (have: l1index)\n", *inject)
+		return 2
+	}
+	cache.InjectFault(fault)
+
+	opt := metamorph.Options{
+		Full:    *full,
+		Seed:    *seed,
+		Insts:   *insts,
+		Workers: *workers,
+	}
+	if *checks != "" {
+		for _, name := range strings.Split(*checks, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opt.Checks = append(opt.Checks, name)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := metamorph.Run(ctx, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		return 2
+	}
+	printReport(&rep)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			return 2
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "verify: aborted: %v\n", ctx.Err())
+		return 2
+	}
+	switch {
+	case rep.Errors > 0:
+		return 2
+	case rep.Fail > 0:
+		return 1
+	}
+	return 0
+}
+
+// printReport renders the human-readable verdict table.
+func printReport(rep *metamorph.Report) {
+	fmt.Printf("model %s  mode=%s  seed=%d  insts=%d  workloads=%s",
+		core.ModelVersion, rep.Mode, rep.Seed, rep.Insts,
+		strings.Join(rep.Workloads, ","))
+	if rep.Fault != "none" {
+		fmt.Printf("  INJECTED FAULT=%s", rep.Fault)
+	}
+	fmt.Println()
+	for _, v := range rep.Verdicts {
+		fmt.Printf("%-5s %-22s %-13s %6.1fs  %s\n",
+			strings.ToUpper(v.Status), v.Check, v.Kind,
+			float64(v.ElapsedMS)/1000, v.Detail)
+	}
+	fmt.Printf("%d checks: %d pass, %d fail, %d errors in %.1fs\n",
+		len(rep.Verdicts), rep.Pass, rep.Fail, rep.Errors,
+		float64(rep.ElapsedMS)/1000)
+}
+
+// writeJSON writes the verdict report ("-" selects stdout).
+func writeJSON(path string, rep *metamorph.Report) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -134,7 +134,8 @@ func New(geo config.CacheGeometry) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:geo.Ways:geo.Ways], backing[geo.Ways:]
 	}
-	return &Cache{geo: geo, sets: sets, setMask: uint64(nsets - 1), lineShift: shift}
+	return &Cache{geo: geo, sets: sets,
+		setMask: faultedSetMask(uint64(nsets - 1)), lineShift: shift}
 }
 
 // Geometry returns the configured geometry.

@@ -59,3 +59,41 @@ func TestOverlayJSON(t *testing.T) {
 		t.Fatal("invalid overlay accepted")
 	}
 }
+
+// TestOverlayJSONRejectsBadGeometry table-tests the overlay validator on
+// the malformed-geometry inputs the experiment service must turn into 400s:
+// every case decodes as JSON but violates a structural constraint, so the
+// error has to come from Validate, not the decoder.
+func TestOverlayJSONRejectsBadGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		name, overlay string
+	}{
+		{"unknown field", `{"NoSuchKnob": 1}`},
+		{"unknown nested field", `{"L1D": {"SizzleBytes": 65536}}`},
+		{"sets not a power of two", `{"L1D": {"SizeBytes": 98304, "Ways": 2, "LineBytes": 64, "HitCycles": 4}}`},
+		{"size not divisible", `{"L1D": {"SizeBytes": 100000, "Ways": 2, "LineBytes": 64, "HitCycles": 4}}`},
+		{"line size not a power of two", `{"L1D": {"SizeBytes": 131072, "Ways": 2, "LineBytes": 48, "HitCycles": 4}}`},
+		{"zero hit latency", `{"L1D": {"SizeBytes": 131072, "Ways": 2, "LineBytes": 64, "HitCycles": 0}}`},
+		{"negative ways", `{"Mem": {"L2": {"SizeBytes": 2097152, "Ways": -4, "LineBytes": 64, "HitCycles": 21}}}`},
+		{"L1/L2 line size mismatch", `{"L1D": {"SizeBytes": 131072, "Ways": 2, "LineBytes": 32, "HitCycles": 4}}`},
+		{"BHT sets not a power of two", `{"BHT": {"Entries": 12288, "Ways": 2, "AccessCycles": 1}}`},
+		{"zero issue width", `{"CPU": {"IssueWidth": 0}}`},
+		{"empty load queue", `{"CPU": {"LoadQueueEntries": 0}}`},
+	} {
+		if _, err := OverlayJSON(Base(), strings.NewReader(tc.overlay)); err == nil {
+			t.Errorf("%s: overlay %s accepted", tc.name, tc.overlay)
+		}
+	}
+	// The valid neighbors of the rejected cases still pass, so the table
+	// is testing the constraint, not the decoder.
+	for _, tc := range []struct {
+		name, overlay string
+	}{
+		{"valid L1D shrink", `{"L1D": {"SizeBytes": 65536, "Ways": 2, "LineBytes": 64, "HitCycles": 4}}`},
+		{"valid off-chip L2", `{"Mem": {"L2OffChip": true}}`},
+	} {
+		if _, err := OverlayJSON(Base(), strings.NewReader(tc.overlay)); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}

@@ -110,6 +110,13 @@ type Stats struct {
 	Committed uint64
 	Fetched   uint64
 
+	// CommittedByClass splits Committed by instruction class. The split is
+	// a conservation oracle for the verification harness (internal/
+	// metamorph): on a zero-warmup run the per-class counts must equal the
+	// trace's composition exactly, and their sum must equal Committed on
+	// every run, truncated or not.
+	CommittedByClass [isa.NumClasses]uint64
+
 	// Issue-stall cycles by cause (whole-group stalls).
 	StallWindow, StallRename, StallRS, StallLQ, StallSQ uint64
 	// Fetch-stall cycles by cause.
@@ -394,7 +401,7 @@ func (c *CPU) commit(cycle uint64) {
 		}
 		if c.pipeTracer != nil {
 			c.pipeTracer(&PipeEvent{
-				Seq: e.seq, PC: e.rec.PC, Op: e.rec.Op,
+				Seq: e.seq, PC: e.rec.PC, Op: e.rec.Op, EA: e.rec.EA,
 				Fetch: e.fetchCycle, Issue: e.issueCycle, Dispatch: e.dispCycle,
 				Complete: e.completeCycle, Commit: cycle,
 				Cancels: int(e.cancels), Mispredict: e.mispredict,
@@ -407,6 +414,7 @@ func (c *CPU) commit(cycle uint64) {
 		e.st = stEmpty
 		c.head++
 		c.Stats.Committed++
+		c.Stats.CommittedByClass[e.rec.Op]++
 		if c.warmupLeft > 0 {
 			c.warmupLeft--
 			if c.warmupLeft == 0 {
@@ -477,7 +485,12 @@ func (c *CPU) attributeZeroCommit(cycle uint64) {
 // reported numbers reflect steady state (the paper starts its traces only
 // after the workload "reaches a steady state").
 func (c *CPU) resetMeasurement() {
-	c.Stats = Stats{Cycles: 1}
+	// Seed Fetched with the instructions already in flight (window + fetch
+	// buffer): they were fetched before the warmup boundary but will commit
+	// after it, and without the seed a truncated or cancelled run could
+	// report fetched < committed — violating the fetch ≥ commit conservation
+	// invariant the verification harness enforces.
+	c.Stats = Stats{Cycles: 1, Fetched: uint64(c.inFlight() + c.fetchBufLen())}
 	if c.pred != nil {
 		c.pred.Stats = bpred.Stats{}
 	}

@@ -17,6 +17,11 @@ type PipeEvent struct {
 	// PC and Op identify the instruction.
 	PC uint64
 	Op isa.Class
+	// EA is the memory effective address or taken-branch target from the
+	// trace record (zero otherwise) — the "memory side effect" the
+	// differential verification harness compares instruction-by-instruction
+	// against the reference oracle.
+	EA uint64
 	// Fetch, Issue, Dispatch, Complete, Commit are the cycles the
 	// instruction passed each stage (Dispatch is the final, successful
 	// dispatch when cancellations occurred).

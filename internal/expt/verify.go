@@ -1,0 +1,53 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+
+	"sparc64v/internal/core"
+	"sparc64v/internal/metamorph"
+	"sparc64v/internal/stats"
+)
+
+// VerificationStudy exposes the metamorphic verification harness
+// (internal/metamorph) as a Study, so the experiment service can run the
+// invariant catalog on demand next to the paper's figures. It is
+// deliberately NOT part of Studies(): the sweep registry feeds
+// EXPERIMENTS.md, which reproduces the paper's artifacts, and a
+// verification verdict is a gate, not a figure. The server appends it to
+// its own study listing.
+func VerificationStudy() Study {
+	return Study{
+		Name: "Verification",
+		Run: func(ctx context.Context, opt core.RunOptions) ([]Result, error) {
+			rep, err := metamorph.Run(ctx, metamorph.Options{
+				Seed:    opt.Seed,
+				Insts:   opt.Insts,
+				Workers: opt.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t := stats.NewTable("Metamorphic invariant catalog (quick)",
+				"check", "kind", "status", "detail")
+			for _, v := range rep.Verdicts {
+				t.AddRow(v.Check, v.Kind, v.Status, v.Detail)
+			}
+			res := Result{
+				ID:    "Verification",
+				Title: "Cross-run invariant verdicts (internal/metamorph)",
+				Table: t,
+				Notes: []string{
+					fmt.Sprintf("model %s seed %d insts %d: %d pass, %d fail, %d errors",
+						rep.ModelVersion, rep.Seed, rep.Insts,
+						rep.Pass, rep.Fail, rep.Errors),
+				},
+			}
+			if !rep.OK() {
+				res.Notes = append(res.Notes,
+					"VERDICT: FAIL — the model violates its own invariants")
+			}
+			return []Result{res}, nil
+		},
+	}
+}

@@ -1,0 +1,67 @@
+package isa
+
+import "testing"
+
+// FuzzDecode throws arbitrary 32-bit words at the decoder. Decode's
+// contract is total: it never fails, unknown encodings degrade to Special,
+// and every decoded operand stays inside the flat register space. The seed
+// corpus (testdata/fuzz/FuzzDecode) pins one word per format: CALL, SETHI,
+// NOP, Bicc, BPcc, ADD (reg and imm), MULX, JMPL, FADDd, LDUW, STX, CASA,
+// ILLTRAP, and the all-ones word.
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0x40000001, // CALL +4
+		0x03000001, // SETHI %hi(0x400), %g1
+		0x01000000, // NOP (SETHI 0, %g0)
+		0x10800003, // BA +12
+		0x02800003, // BE +12
+		0x30480003, // BA,pt %xcc, +12 (BPcc)
+		0x8a004002, // ADD %g1, %g2, %g5
+		0x8a006004, // ADD %g1, 4, %g5
+		0x8a484002, // MULX %g1, %g2, %g5
+		0x81c3e008, // JMPL %o7+8, %g0 (ret)
+		0x9fc04000, // JMPL %g1, %o7 (call)
+		0x89a0094a, // FADDd %f2, %f10, %f4
+		0xc4004002, // LDUW [%g1+%g2], %g2
+		0xc4704002, // STX %g2, [%g1+%g2]
+		0xc5e04002, // CASA [%g1], %g2, %g2
+		0x00000000, // ILLTRAP
+		0xffffffff, // not a real encoding
+	}
+	for _, w := range seeds {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, word uint32) {
+		d := Decode(word)
+		if !d.Class.Valid() {
+			t.Fatalf("Decode(%#08x): invalid class %d", word, d.Class)
+		}
+		for _, r := range []uint8{d.Rd, d.Rs1, d.Rs2} {
+			if r != RegNone && r >= NumRegs {
+				t.Fatalf("Decode(%#08x): register %d outside flat space [0,%d)",
+					word, r, NumRegs)
+			}
+		}
+		// Stores are exempt: they carry the data register in Rs2 regardless
+		// of addressing form (decodeMemory swaps rd into Rs2 as a source).
+		if d.Imm && d.Rs2 != RegNone && d.Class != Store {
+			t.Fatalf("Decode(%#08x): immediate form with Rs2=%d", word, d.Rs2)
+		}
+		if d.Disp != 0 && d.Class != Branch && d.Class != Call {
+			t.Fatalf("Decode(%#08x): displacement %d on non-control class %v",
+				word, d.Disp, d.Class)
+		}
+		if d.Disp%int64(InstrBytes) != 0 {
+			t.Fatalf("Decode(%#08x): displacement %d not word-aligned", word, d.Disp)
+		}
+		// AccessBytes must be consistent with the decode: only op=3 words
+		// access memory, and every memory-class decode has a non-zero size.
+		ab := AccessBytes(word)
+		if ab != 0 && word>>30 != 3 {
+			t.Fatalf("AccessBytes(%#08x) = %d for non-memory format", word, ab)
+		}
+		if (d.Class == Load || d.Class == Store) && word>>30 == 3 && ab == 0 {
+			t.Fatalf("Decode(%#08x) = %v but AccessBytes = 0", word, d.Class)
+		}
+	})
+}

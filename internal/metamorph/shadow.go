@@ -1,0 +1,60 @@
+package metamorph
+
+import "sparc64v/internal/config"
+
+// shadowCache is a deliberately independent implementation of a
+// set-associative true-LRU cache: MRU-ordered slices instead of LRU
+// timestamps, arithmetic modulo instead of bit masks, division instead of
+// shifts. It exists solely as a differential oracle for internal/cache —
+// the two implementations share nothing but the geometry contract, so an
+// index-bit, masking, replacement or eviction bug in either one shows up
+// as a hit/miss disagreement on the first access where behavior diverges.
+//
+// This mirrors the paper's methodology at the model level: the SPARC64 V
+// performance model was cross-verified against a structurally different
+// logic simulator precisely because shared code cannot catch its own bugs.
+type shadowCache struct {
+	lineBytes uint64
+	nsets     uint64
+	ways      int
+	// sets[i] holds the set's resident line numbers, most recently used
+	// first.
+	sets [][]uint64
+}
+
+// newShadow builds the oracle for a geometry.
+func newShadow(g config.CacheGeometry) *shadowCache {
+	s := &shadowCache{
+		lineBytes: uint64(g.LineBytes),
+		nsets:     uint64(g.Sets()),
+		ways:      g.Ways,
+		sets:      make([][]uint64, g.Sets()),
+	}
+	for i := range s.sets {
+		s.sets[i] = make([]uint64, 0, g.Ways)
+	}
+	return s
+}
+
+// access performs a demand access with fill-on-miss and reports whether it
+// hit. Replacement is true LRU: hits move to the MRU position, misses
+// insert at MRU and push out the LRU way when the set is full.
+func (s *shadowCache) access(addr uint64) bool {
+	line := addr / s.lineBytes
+	set := s.sets[line%s.nsets]
+	for i, t := range set {
+		if t == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	if len(set) == s.ways {
+		set = set[:s.ways-1]
+	}
+	set = append(set, 0)
+	copy(set[1:], set)
+	set[0] = line
+	s.sets[line%s.nsets] = set
+	return false
+}

@@ -264,7 +264,10 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	var study expt.Study
 	found := false
 	var slugs []string
-	for _, st := range expt.Studies() {
+	// The sweep registry plus the verification catalog: the harness is
+	// addressable like any figure here, but stays out of Studies() so it
+	// never appears in EXPERIMENTS.md.
+	for _, st := range append(expt.Studies(), expt.VerificationStudy()) {
 		slugs = append(slugs, st.Slug())
 		if st.Slug() == id {
 			study, found = st, true

@@ -127,6 +127,49 @@ func TestRunEndpointValidation(t *testing.T) {
 	}
 }
 
+// TestRunOverlayRejection pins the overlay contract: a syntactically valid
+// but structurally broken config overlay is the *client's* error — every
+// case must come back 400 with a structured {"error": ...} body, never
+// reach the simulator, and never surface as a 500.
+func TestRunOverlayRejection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, tc := range []struct {
+		name, overlay string
+	}{
+		{"unknown field", `{"NoSuchKnob": 1}`},
+		{"sets not a power of two", `{"L1D": {"SizeBytes": 98304, "Ways": 2, "LineBytes": 64, "HitCycles": 4}}`},
+		{"size not divisible by ways*line", `{"L1D": {"SizeBytes": 100000, "Ways": 2, "LineBytes": 64, "HitCycles": 4}}`},
+		{"zero hit latency", `{"L1D": {"SizeBytes": 131072, "Ways": 2, "LineBytes": 64, "HitCycles": 0}}`},
+		{"L1/L2 line size mismatch", `{"L1D": {"SizeBytes": 131072, "Ways": 2, "LineBytes": 32, "HitCycles": 4}}`},
+		{"negative L2 ways", `{"Mem": {"L2": {"SizeBytes": 2097152, "Ways": -4, "LineBytes": 64, "HitCycles": 21}}}`},
+		{"zero issue width", `{"CPU": {"IssueWidth": 0}}`},
+		{"BHT sets not a power of two", `{"BHT": {"Entries": 12288, "Ways": 2, "AccessCycles": 1}}`},
+	} {
+		body := fmt.Sprintf(`{"workload":"specint95","insts":1000,"config":%s}`, tc.overlay)
+		resp, b := postRun(t, ts.URL, body)
+		if resp.StatusCode >= 500 {
+			t.Fatalf("%s: status %d — a bad overlay must never be a server error (%s)",
+				tc.name, resp.StatusCode, b)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, b)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a structured {\"error\": ...} reply", tc.name, b)
+		}
+	}
+	// The overlay path still works: a well-formed variant is accepted.
+	resp, b := postRun(t, ts.URL,
+		`{"workload":"specint95","insts":1000,"config":{"L1D": {"SizeBytes": 65536, "Ways": 2, "LineBytes": 64, "HitCycles": 4}}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid overlay rejected: status %d (%s)", resp.StatusCode, b)
+	}
+}
+
 // TestQueueFullReturns429 pins overload shedding: with one worker and one
 // queue slot, a third distinct request is rejected with 429 before its
 // simulation starts.

@@ -1,0 +1,94 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/trace"
+	"sparc64v/internal/workload"
+)
+
+// cancellingSource cancels a context after n records, so the run is torn
+// down mid-flight at a deterministic point in the instruction stream.
+type cancellingSource struct {
+	src    trace.Source
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingSource) Next(r *trace.Record) bool {
+	if c.n == 0 {
+		c.cancel()
+	}
+	c.n--
+	return c.src.Next(r)
+}
+
+// TestCancelMidRunConservation is the regression test for the truncated-
+// run counter bug: cancelling a run just after the warmup boundary used to
+// leave Fetched seeded at zero while the in-flight instructions still
+// committed, so a cancelled report could claim fetched < committed. The
+// fix seeds Fetched with the in-flight count at the warmup reset; this
+// test cancels mid-run and holds the report to the conservation
+// invariants the verification harness enforces (fetch >= commit, per-class
+// commits sum to the total, accesses >= misses).
+func TestCancelMidRunConservation(t *testing.T) {
+	cfg := config.Base()
+	cfg.WarmupInsts = 2000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancellingSource{
+		src:    trace.NewLimitSource(workload.New(workload.SPECint95(), 1, 0), 100_000),
+		n:      8_000,
+		cancel: cancel,
+	}
+	sys, err := New(cfg, []trace.Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, capped, err := sys.RunContext(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if capped {
+		t.Fatal("cancelled run reported the cycle cap")
+	}
+	r := sys.Report("cancel-test")
+	core := &r.CPUs[0].Core
+	if core.Committed == 0 {
+		t.Fatal("cancelled run committed nothing: cancellation landed before warmup")
+	}
+	if r.Committed >= 100_000 {
+		t.Fatal("run completed before the cancellation took effect")
+	}
+	if core.Fetched < core.Committed {
+		t.Errorf("fetched %d < committed %d on cancelled run", core.Fetched, core.Committed)
+	}
+	var byClass uint64
+	for _, n := range core.CommittedByClass {
+		byClass += n
+	}
+	if byClass != core.Committed {
+		t.Errorf("per-class commit sum %d != committed %d", byClass, core.Committed)
+	}
+	for _, cs := range []struct {
+		name string
+		acc  uint64
+		miss uint64
+	}{
+		{"L1I", r.CPUs[0].L1I.DemandAccesses, r.CPUs[0].L1I.DemandMisses},
+		{"L1D", r.CPUs[0].L1D.DemandAccesses, r.CPUs[0].L1D.DemandMisses},
+		{"L2", r.CPUs[0].L2.DemandAccesses, r.CPUs[0].L2.DemandMisses},
+	} {
+		if cs.miss > cs.acc {
+			t.Errorf("%s: misses %d > accesses %d", cs.name, cs.miss, cs.acc)
+		}
+	}
+	// The summary view must reflect the same balanced counters.
+	s := r.Summary()
+	if s.PerCPU[0].Fetched != core.Fetched || s.PerCPU[0].Committed != core.Committed {
+		t.Errorf("summary counters diverge from report: %+v", s.PerCPU[0])
+	}
+}

@@ -3,6 +3,8 @@ package system
 import (
 	"encoding/json"
 	"io"
+
+	"sparc64v/internal/isa"
 )
 
 // Summary is the flattened, serialization-friendly view of a Report: all
@@ -34,22 +36,31 @@ type Summary struct {
 
 // CPUSummary is the per-processor slice of a Summary.
 type CPUSummary struct {
-	IPC           float64 `json:"ipc"`
-	Committed     uint64  `json:"instructions"`
-	Cycles        uint64  `json:"cycles"`
-	SpecCancels   uint64  `json:"speculative_cancels"`
-	BankConflicts uint64  `json:"bank_conflicts"`
-	StallWindow   uint64  `json:"stall_window"`
-	StallRename   uint64  `json:"stall_rename"`
-	StallRS       uint64  `json:"stall_rs"`
-	StallLQ       uint64  `json:"stall_lq"`
-	StallSQ       uint64  `json:"stall_sq"`
-	ZeroFrontend  uint64  `json:"zero_commit_frontend"`
-	ZeroMemory    uint64  `json:"zero_commit_memory"`
-	ZeroExecute   uint64  `json:"zero_commit_execute"`
-	ZeroRS        uint64  `json:"zero_commit_rs"`
-	ITLBMissRate  float64 `json:"itlb_miss_rate"`
-	DTLBMissRate  float64 `json:"dtlb_miss_rate"`
+	IPC       float64 `json:"ipc"`
+	Committed uint64  `json:"instructions"`
+	// Fetched counts instructions that left the fetch unit. Conservation:
+	// Fetched >= Committed on every run, including truncated and cancelled
+	// ones (fetched instructions may never commit; the reverse is
+	// impossible).
+	Fetched uint64 `json:"fetched"`
+	// CommittedByClass splits Committed by instruction class name; the sum
+	// of its values equals Committed, and on a zero-warmup run the counts
+	// equal the trace composition (see internal/metamorph).
+	CommittedByClass map[string]uint64 `json:"committed_by_class,omitempty"`
+	Cycles           uint64            `json:"cycles"`
+	SpecCancels      uint64            `json:"speculative_cancels"`
+	BankConflicts    uint64            `json:"bank_conflicts"`
+	StallWindow      uint64            `json:"stall_window"`
+	StallRename      uint64            `json:"stall_rename"`
+	StallRS          uint64            `json:"stall_rs"`
+	StallLQ          uint64            `json:"stall_lq"`
+	StallSQ          uint64            `json:"stall_sq"`
+	ZeroFrontend     uint64            `json:"zero_commit_frontend"`
+	ZeroMemory       uint64            `json:"zero_commit_memory"`
+	ZeroExecute      uint64            `json:"zero_commit_execute"`
+	ZeroRS           uint64            `json:"zero_commit_rs"`
+	ITLBMissRate     float64           `json:"itlb_miss_rate"`
+	DTLBMissRate     float64           `json:"dtlb_miss_rate"`
 }
 
 // Summary flattens the report.
@@ -77,23 +88,31 @@ func (r *Report) Summary() Summary {
 	}
 	for i := range r.CPUs {
 		c := &r.CPUs[i]
+		byClass := make(map[string]uint64)
+		for op, n := range c.Core.CommittedByClass {
+			if n > 0 {
+				byClass[isa.Class(op).String()] = n
+			}
+		}
 		s.PerCPU = append(s.PerCPU, CPUSummary{
-			IPC:           c.IPC(),
-			Committed:     c.Core.Committed,
-			Cycles:        c.Core.Cycles,
-			SpecCancels:   c.Core.SpecCancels,
-			BankConflicts: c.Core.BankConflicts,
-			StallWindow:   c.Core.StallWindow,
-			StallRename:   c.Core.StallRename,
-			StallRS:       c.Core.StallRS,
-			StallLQ:       c.Core.StallLQ,
-			StallSQ:       c.Core.StallSQ,
-			ZeroFrontend:  c.Core.ZeroCommitFrontend,
-			ZeroMemory:    c.Core.ZeroCommitMemory,
-			ZeroExecute:   c.Core.ZeroCommitExecute,
-			ZeroRS:        c.Core.ZeroCommitRS,
-			ITLBMissRate:  c.ITLBMissRate,
-			DTLBMissRate:  c.DTLBMissRate,
+			IPC:              c.IPC(),
+			Committed:        c.Core.Committed,
+			Fetched:          c.Core.Fetched,
+			CommittedByClass: byClass,
+			Cycles:           c.Core.Cycles,
+			SpecCancels:      c.Core.SpecCancels,
+			BankConflicts:    c.Core.BankConflicts,
+			StallWindow:      c.Core.StallWindow,
+			StallRename:      c.Core.StallRename,
+			StallRS:          c.Core.StallRS,
+			StallLQ:          c.Core.StallLQ,
+			StallSQ:          c.Core.StallSQ,
+			ZeroFrontend:     c.Core.ZeroCommitFrontend,
+			ZeroMemory:       c.Core.ZeroCommitMemory,
+			ZeroExecute:      c.Core.ZeroCommitExecute,
+			ZeroRS:           c.Core.ZeroCommitRS,
+			ITLBMissRate:     c.ITLBMissRate,
+			DTLBMissRate:     c.DTLBMissRate,
 		})
 	}
 	return s
