@@ -7,7 +7,7 @@ INSTS ?= 1000000
 # with unchanged config+workload+seed+model are served without simulating.
 CACHE_DIR ?= .simcache
 
-.PHONY: build test race bench sweep accuracy serve smoke verify verify-quick clean
+.PHONY: build test race bench benchdiff bench-baseline sweep accuracy serve smoke verify verify-quick clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Benchmark regression gate (scripts/benchdiff.sh): median-of-5 sched and
+# runcache micro-benchmarks vs scripts/bench_baseline.json. allocs/op is a
+# tight machine-independent gate (±15%); ns/op is loose by default
+# (BENCH_NS_TOLERANCE=75) to survive noisy CI hosts. bench-baseline
+# rewrites the baseline after an intended change.
+benchdiff:
+	./scripts/benchdiff.sh
+
+bench-baseline:
+	./scripts/benchdiff.sh -update
 
 # Regenerates EXPERIMENTS.md at full trace length (stderr carries the
 # per-study wall times, effective sim-instrs/s, and cache summary). The

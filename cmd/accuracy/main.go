@@ -34,6 +34,7 @@ import (
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
+	"sparc64v/internal/obs"
 	"sparc64v/internal/runcache"
 	"sparc64v/internal/stats"
 	"sparc64v/internal/trace"
@@ -50,6 +51,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 0, "abort the workflow after this long (0 = no limit)")
 		cacheDir     = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
+		profile      = flag.String("profile", "", "write a JSON timing+counter profile of every run to this file")
 	)
 	flag.Parse()
 	prof, ok := workload.ByName(*workloadName)
@@ -66,6 +68,9 @@ func main() {
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
 		opt.Workers = 1
+	}
+	if *profile != "" {
+		opt.Obs = obs.NewCollector()
 	}
 	if *cacheDir != "" {
 		cache, err := runcache.New(runcache.Options{Dir: *cacheDir})
@@ -123,7 +128,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	ro := core.RunOptions{Insts: len(recs), Seed: *seed, Warmup: 1}
+	ro := core.RunOptions{Insts: len(recs), Seed: *seed, Warmup: 1, Obs: opt.Obs}
 	r1, err := m.RunSourcesContext(ctx, "trace", []trace.Source{trace.NewSliceSource(recs)}, ro)
 	if err != nil {
 		fatalCtx(err)
@@ -134,6 +139,12 @@ func main() {
 	}
 	fmt.Printf("Reverse tracer: %d dynamic instrs -> %d static; trace %d cycles, replay %d cycles",
 		prog.Len(), prog.StaticInstrs(), r1.Cycles, r2.Cycles)
+	if *profile != "" {
+		if err := opt.Obs.WriteProfileFile(*profile); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "accuracy: wrote run profiles to %s\n", *profile)
+	}
 	if r1.Cycles == r2.Cycles && r1.Committed == r2.Committed {
 		fmt.Println("  [EXACT MATCH]")
 	} else {

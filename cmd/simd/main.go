@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		maxQueue = flag.Int("max-queue", 64, "jobs admitted beyond the running ones before shedding 429s (negative = none)")
 		insts    = flag.Int("insts", 1_000_000, "default instructions per CPU when a request omits insts")
+		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,18 @@ func main() {
 		fatal("%v", err)
 	}
 
+	if *pprof != "" {
+		// pprof stays off the service mux and listener: profiling must not
+		// be reachable through the public address, and a wedged service
+		// port can still be profiled.
+		go func() {
+			fmt.Fprintf(os.Stderr, "simd: pprof on http://%s/debug/pprof/\n", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "simd: pprof: %v\n", err)
+			}
+		}()
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -74,6 +88,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	// Drain: stop accepting, let in-flight runs finish (bounded).
+	srv.DrainStarted()
 	fmt.Fprintln(os.Stderr, "simd: draining (in-flight runs finish; new connections refused)")
 	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

@@ -37,6 +37,7 @@ import (
 
 	"sparc64v/internal/core"
 	"sparc64v/internal/expt"
+	"sparc64v/internal/obs"
 	"sparc64v/internal/runcache"
 	"sparc64v/internal/sched"
 )
@@ -50,6 +51,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
+		profile  = flag.String("profile", "", "write a JSON timing+counter profile of every run to this file")
 	)
 	flag.Parse()
 
@@ -64,6 +66,9 @@ func main() {
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
 		opt.Workers = 1
+	}
+	if *profile != "" {
+		opt.Obs = obs.NewCollector()
 	}
 	var cache *runcache.Cache
 	if *cacheDir != "" {
@@ -112,6 +117,13 @@ func main() {
 		}
 	}
 	summarize(results, wall, sched.Workers(opt.Workers), cache)
+	if *profile != "" {
+		if werr := opt.Obs.WriteProfileFile(*profile); werr != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote run profiles to %s\n", *profile)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):

@@ -26,6 +26,7 @@ import (
 	"sparc64v/internal/cache"
 	"sparc64v/internal/core"
 	"sparc64v/internal/metamorph"
+	"sparc64v/internal/obs"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run() int {
 	jsonOut := fs.String("json", "", "write the JSON verdict report to this file (\"-\" = stdout)")
 	checks := fs.String("checks", "", "comma-separated check subset (default: whole mode catalog)")
 	inject := fs.String("inject", "", "inject a model fault (l1index) — the harness must catch it")
+	profile := fs.String("profile", "", "write a JSON timing+counter profile of every check and run to this file")
 	timeout := fs.Duration("timeout", 15*time.Minute, "abort the run after this long")
 	fs.Parse(os.Args[1:])
 
@@ -61,6 +63,9 @@ func run() int {
 		Seed:    *seed,
 		Insts:   *insts,
 		Workers: *workers,
+	}
+	if *profile != "" {
+		opt.Obs = obs.NewCollector()
 	}
 	if *checks != "" {
 		for _, name := range strings.Split(*checks, ",") {
@@ -86,6 +91,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			return 2
 		}
+	}
+	if *profile != "" {
+		if err := opt.Obs.WriteProfileFile(*profile); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "verify: wrote check profiles to %s\n", *profile)
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "verify: aborted: %v\n", ctx.Err())

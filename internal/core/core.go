@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"sparc64v/internal/config"
+	"sparc64v/internal/obs"
 	"sparc64v/internal/runcache"
 	"sparc64v/internal/sched"
 	"sparc64v/internal/stats"
@@ -90,6 +91,12 @@ type RunOptions struct {
 	// runs (RunSources*) are never cached — a file has no stable content
 	// key here.
 	Cache *runcache.Cache
+	// Obs, when non-nil, collects a per-run profile span (wall time split
+	// into build/sim/report/cache phases, plus the run's headline counters)
+	// for every simulation executed under these options. nil disables
+	// profiling at zero cost; profiling never changes simulation results
+	// (pinned by TestInstrumentationIsInvisible).
+	Obs *obs.Collector
 }
 
 func (o *RunOptions) defaults() {
@@ -125,9 +132,20 @@ func (m *Model) RunContext(ctx context.Context, p workload.Profile, opt RunOptio
 	opt.defaults()
 	if opt.Cache != nil {
 		if key, err := m.runKey(p, opt); err == nil {
-			rep, _, err := opt.Cache.GetOrRun(ctx, key, func(ctx context.Context) (system.Report, error) {
+			sp := opt.Obs.StartSpan("run", p.Name)
+			endCache := sp.Phase(obs.PhaseCache)
+			rep, outcome, err := opt.Cache.GetOrRun(ctx, key, func(ctx context.Context) (system.Report, error) {
 				return m.runProfile(ctx, p, opt)
 			})
+			endCache()
+			if err == nil && outcome.Cached() {
+				// Cache-served: this span is the run's whole story. On a
+				// miss the inner runProfile already published the real
+				// span, so this wrapper is dropped (never finished).
+				sp.Add("cached", 1)
+				spanReport(sp, rep)
+				sp.Finish()
+			}
 			return rep, err
 		}
 		// Unhashable configuration (cannot happen for real Configs):
@@ -191,18 +209,27 @@ func (m *Model) RunSources(label string, srcs []trace.Source, opt RunOptions) (s
 // ctx.Err().
 func (m *Model) RunSourcesContext(ctx context.Context, label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
 	opt.defaults()
+	sp := opt.Obs.StartSpan("run", label)
 	cfg := m.cfg
 	cfg.WarmupInsts = opt.Warmup
+	endBuild := sp.Phase(obs.PhaseBuild)
 	sys, err := system.New(cfg, srcs)
+	endBuild()
 	if err != nil {
 		return system.Report{}, err
 	}
+	endSim := sp.Phase(obs.PhaseSim)
 	_, capped, cerr := sys.RunContext(ctx, opt.MaxCycles)
+	endSim()
+	endReport := sp.Phase(obs.PhaseReport)
 	r := sys.Report(label)
 	r.HitCap = capped
 	meterInstrs.Add(r.Committed)
 	meterCycles.Add(r.Cycles)
 	meterRuns.Add(1)
+	endReport()
+	spanReport(sp, r)
+	sp.Finish()
 	if cerr != nil {
 		return r, fmt.Errorf("core: %s/%s cancelled: %w", m.cfg.Name, label, cerr)
 	}
@@ -210,6 +237,35 @@ func (m *Model) RunSourcesContext(ctx context.Context, label string, srcs []trac
 		return r, fmt.Errorf("core: %s/%s hit the %d-cycle cap", m.cfg.Name, label, opt.MaxCycles)
 	}
 	return r, nil
+}
+
+// spanReport copies a run's headline counters onto its span. The simulator
+// interleaves all pipeline stages in one cycle loop, so per-stage *time*
+// is not separable without per-cycle clock reads; per-stage *activity* is
+// free — the machine already counted it — and is what profiles carry.
+func spanReport(sp *obs.Span, r system.Report) {
+	if sp == nil {
+		return
+	}
+	sp.Add("cycles", int64(r.Cycles))
+	sp.Add("committed", int64(r.Committed))
+	sp.Add("bus_wait_cycles", int64(r.BusWaitCycles))
+	sp.Add("dram_wait_cycles", int64(r.DRAMWaitCycles))
+	if r.HitCap {
+		sp.Add("hit_cap", 1)
+	}
+	for i := range r.CPUs {
+		c := &r.CPUs[i]
+		sp.Add("fetched", int64(c.Core.Fetched))
+		sp.Add("branches", int64(c.Branch.Branches()))
+		sp.Add("mispredicts", int64(c.Branch.Mispredicts()))
+		sp.Add("l1i_accesses", int64(c.L1I.DemandAccesses))
+		sp.Add("l1i_misses", int64(c.L1I.DemandMisses))
+		sp.Add("l1d_accesses", int64(c.L1D.DemandAccesses))
+		sp.Add("l1d_misses", int64(c.L1D.DemandMisses))
+		sp.Add("l2_accesses", int64(c.L2.DemandAccesses))
+		sp.Add("l2_misses", int64(c.L2.DemandMisses))
+	}
 }
 
 // BreakdownResult is the Figure 7 analysis for one workload: the share of

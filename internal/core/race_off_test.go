@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race; timing
+// sensitive tests shrink their workloads accordingly.
+const raceEnabled = false

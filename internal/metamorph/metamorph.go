@@ -37,6 +37,7 @@ import (
 	"sparc64v/internal/cache"
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
+	"sparc64v/internal/obs"
 	"sparc64v/internal/sched"
 	"sparc64v/internal/workload"
 )
@@ -94,11 +95,14 @@ type Env struct {
 	// simulations (Breakdown, TrendCheck). The harness already parallelizes
 	// across checks, so 1 is the right default.
 	Workers int
+	// Obs collects per-run profile spans for every simulation the checks
+	// execute; nil disables profiling.
+	Obs *obs.Collector
 }
 
 // opts returns the RunOptions shared by simulation-driven checks.
 func (e *Env) opts() core.RunOptions {
-	return core.RunOptions{Insts: e.Insts, Seed: e.Seed, Workers: e.Workers}
+	return core.RunOptions{Insts: e.Insts, Seed: e.Seed, Workers: e.Workers, Obs: e.Obs}
 }
 
 // run simulates profile p on cfg with the env's options.
@@ -168,6 +172,24 @@ type Options struct {
 	Workers int
 	// Checks, when non-empty, restricts the run to the named checks.
 	Checks []string
+	// Obs, when non-nil, collects a per-check timing span ("check"/<name>)
+	// alongside the verdict counters the harness always publishes to the
+	// process-wide metric registry.
+	Obs *obs.Collector
+}
+
+// Verdict counters in the process-wide registry: one series per status, so
+// a long-lived service running periodic verification exposes its pass/fail
+// history on /metrics.
+var (
+	verdictPass  = verdictCounter(StatusPass)
+	verdictFail  = verdictCounter(StatusFail)
+	verdictError = verdictCounter(StatusError)
+)
+
+func verdictCounter(status string) *obs.Counter {
+	return obs.Default().Counter("sparc64v_metamorph_verdicts_total",
+		"Metamorphic verification check verdicts, by status.", obs.L("status", status))
 }
 
 // modeProfiles returns the workload set for a mode.
@@ -203,6 +225,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		Insts:    insts,
 		Seed:     seed,
 		Workers:  1,
+		Obs:      opt.Obs,
 	}
 	checks, err := selectChecks(opt)
 	if err != nil {
@@ -222,6 +245,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 	verdicts, _ := sched.MapCtx(ctx, len(checks), sched.Options{Workers: opt.Workers},
 		func(ctx context.Context, i int) (Verdict, error) {
 			c := checks[i]
+			sp := opt.Obs.StartSpan("check", c.Name)
 			t0 := time.Now()
 			detail, err := c.Run(ctx, env)
 			v := Verdict{
@@ -234,11 +258,16 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 			var viol *Violation
 			switch {
 			case err == nil:
+				verdictPass.Inc()
 			case errors.As(err, &viol):
 				v.Status, v.Detail = StatusFail, viol.Msg
+				verdictFail.Inc()
 			default:
 				v.Status, v.Detail = StatusError, err.Error()
+				verdictError.Inc()
 			}
+			sp.Add(v.Status, 1)
+			sp.Finish()
 			return v, nil
 		})
 	rep.Verdicts = verdicts

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// now is the span clock. Tests script it to make profiles deterministic;
+// nothing else may read the wall clock in this package.
+var now = time.Now
+
+// Wall-time phases of one run. The cycle-accurate simulator interleaves
+// fetch/decode/execute/mem inside a single loop, so per-pipeline-stage wall
+// timing would need a clock read every cycle (~30x overhead); instead the
+// span splits wall time at the natural sequential seams — workload build,
+// the simulation loop, report extraction, cache lookup — and per-stage
+// activity (fetched, committed, cache accesses, bus waits) travels as
+// counters, which cost nothing to collect because the simulator already
+// maintains them.
+const (
+	PhaseBuild  = "build"
+	PhaseSim    = "sim"
+	PhaseReport = "report"
+	PhaseCache  = "cache"
+)
+
+// A Span measures one unit of work (typically one simulation run): total
+// wall time, per-phase wall time, and named counters. All methods are
+// nil-safe no-ops, so instrumented code threads a span through
+// unconditionally and pays nothing when profiling is off.
+type Span struct {
+	c           *Collector
+	name, label string
+	start       time.Time
+
+	mu       sync.Mutex
+	phases   map[string]time.Duration
+	counters map[string]int64
+	wall     time.Duration
+}
+
+// Phase starts timing the named phase and returns the function that stops
+// it. Repeated phases accumulate.
+func (s *Span) Phase(phase string) func() {
+	if s == nil {
+		return func() {}
+	}
+	t0 := now()
+	return func() {
+		d := now().Sub(t0)
+		s.mu.Lock()
+		s.phases[phase] += d
+		s.mu.Unlock()
+	}
+}
+
+// Add accumulates n into the named counter.
+func (s *Span) Add(counter string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.counters[counter] += n
+	s.mu.Unlock()
+}
+
+// Finish stamps the span's wall time and publishes it to the collector. A
+// span that is never finished is never published — the cache wrapper in
+// core exploits this to drop its span when the inner run recorded the real
+// one.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.wall = now().Sub(s.start)
+	s.mu.Unlock()
+	s.c.publish(s)
+}
+
+// Profile is the serialized form of one finished span.
+type Profile struct {
+	Name        string         `json:"name"`
+	Label       string         `json:"label,omitempty"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Phases      []PhaseSeconds `json:"phases,omitempty"`
+	Counters    []CounterValue `json:"counters,omitempty"`
+}
+
+// PhaseSeconds is one phase's accumulated wall time.
+type PhaseSeconds struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// CounterValue is one named counter's final value.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// A Collector gathers finished spans into a profile dump. The zero value
+// is not usable; a nil *Collector is, and disables profiling (every
+// StartSpan returns a nil, no-op span).
+type Collector struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewCollector builds an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// StartSpan opens a span. Name identifies the kind of work ("run",
+// "study"), label the instance (workload or study name). On a nil
+// collector it returns nil, which every Span method accepts.
+func (c *Collector) StartSpan(name, label string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{
+		c:        c,
+		name:     name,
+		label:    label,
+		start:    now(),
+		phases:   make(map[string]time.Duration),
+		counters: make(map[string]int64),
+	}
+}
+
+func (c *Collector) publish(s *Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Profiles snapshots the finished spans, sorted by (name, label) and with
+// phases/counters sorted by name, so dumps are deterministic regardless of
+// worker interleaving.
+func (c *Collector) Profiles() []Profile {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	spans := append([]*Span(nil), c.spans...)
+	c.mu.Unlock()
+
+	out := make([]Profile, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		p := Profile{
+			Name:        s.name,
+			Label:       s.label,
+			WallSeconds: s.wall.Seconds(),
+		}
+		for phase, d := range s.phases {
+			p.Phases = append(p.Phases, PhaseSeconds{Phase: phase, Seconds: d.Seconds()})
+		}
+		for name, v := range s.counters {
+			p.Counters = append(p.Counters, CounterValue{Name: name, Value: v})
+		}
+		s.mu.Unlock()
+		sort.Slice(p.Phases, func(i, j int) bool { return p.Phases[i].Phase < p.Phases[j].Phase })
+		sort.Slice(p.Counters, func(i, j int) bool { return p.Counters[i].Name < p.Counters[j].Name })
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WriteJSON dumps the collected profiles as indented JSON:
+// {"profiles":[...]}. A nil collector writes an empty document, so CLI
+// plumbing needs no profiling-enabled branch.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Profiles []Profile `json:"profiles"`
+	}{Profiles: c.Profiles()}
+	if doc.Profiles == nil {
+		doc.Profiles = []Profile{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteProfileFile dumps the collector to path (the -profile flag's
+// backend in cmd/sweep, cmd/accuracy and cmd/verify).
+func (c *Collector) WriteProfileFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := c.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: write %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: close %s: %w", path, cerr)
+	}
+	return nil
+}

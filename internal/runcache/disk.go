@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"sparc64v/internal/system"
 )
@@ -54,8 +55,11 @@ func (c *Cache) loadDisk(id string, key Key) (rep system.Report, ok bool) {
 	path := c.entryPath(id)
 	b, err := os.ReadFile(path)
 	if err != nil {
+		// Missing file: a stat-fail, not a read — keep it out of the
+		// read-latency distribution.
 		return rep, false
 	}
+	defer diskReadSeconds.ObserveSince(time.Now())
 	var e diskEntry
 	if err := json.Unmarshal(b, &e); err != nil {
 		c.discardCorrupt(path)
@@ -83,6 +87,7 @@ func (c *Cache) storeDisk(id string, key Key, rep system.Report) {
 	if c.dir == "" {
 		return
 	}
+	defer diskWriteSeconds.ObserveSince(time.Now())
 	rb, err := json.Marshal(rep)
 	if err != nil {
 		return
@@ -112,5 +117,6 @@ func (c *Cache) discardCorrupt(path string) {
 	c.mu.Lock()
 	c.stats.Corrupt++
 	c.mu.Unlock()
+	evCorrupt.Inc()
 	os.Remove(path)
 }

@@ -1,0 +1,33 @@
+package runcache
+
+import (
+	"sparc64v/internal/obs"
+)
+
+// Package-level cache metrics in the process-wide registry. These overlap
+// with the per-Cache Stats() snapshot on purpose: Stats is the per-instance
+// programmatic view (server JSON, tests), while these series aggregate
+// every cache in the process for /metrics and add the latency axes Stats
+// cannot express. Event names mirror Outcome.String() so logs, responses
+// and exposition use one vocabulary.
+var (
+	evMemHit   = cacheEvent("hit")
+	evDiskHit  = cacheEvent("hit-disk")
+	evMiss     = cacheEvent("miss")
+	evShared   = cacheEvent("dedup")
+	evError    = cacheEvent("error")
+	evCorrupt  = cacheEvent("corrupt")
+	evEviction = cacheEvent("eviction")
+
+	diskReadSeconds = obs.Default().Histogram("sparc64v_runcache_disk_read_seconds",
+		"Wall time of disk-tier entry reads (including checksum verification).", nil)
+	diskWriteSeconds = obs.Default().Histogram("sparc64v_runcache_disk_write_seconds",
+		"Wall time of disk-tier entry writes (serialize, temp file, rename).", nil)
+	runSeconds = obs.Default().Histogram("sparc64v_runcache_run_seconds",
+		"Wall time of cache-miss simulations executed by flight leaders.", nil)
+)
+
+func cacheEvent(event string) *obs.Counter {
+	return obs.Default().Counter("sparc64v_runcache_events_total",
+		"Run-cache events, by kind.", obs.L("event", event))
+}

@@ -25,6 +25,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"sparc64v/internal/system"
 )
@@ -212,6 +213,7 @@ func (c *Cache) Get(key Key) (system.Report, bool) {
 		c.stats.HitInstructions += n.rep.Committed
 		rep := cloneReport(n.rep)
 		c.mu.Unlock()
+		evMemHit.Inc()
 		return rep, true
 	}
 	c.mu.Unlock()
@@ -221,6 +223,7 @@ func (c *Cache) Get(key Key) (system.Report, bool) {
 		c.stats.DiskHits++
 		c.stats.HitInstructions += rep.Committed
 		c.mu.Unlock()
+		evDiskHit.Inc()
 		return cloneReport(rep), true
 	}
 	return system.Report{}, false
@@ -242,11 +245,13 @@ func (c *Cache) GetOrRun(ctx context.Context, key Key, run func(context.Context)
 		c.stats.HitInstructions += n.rep.Committed
 		rep := cloneReport(n.rep)
 		c.mu.Unlock()
+		evMemHit.Inc()
 		return rep, OutcomeMemoryHit, nil
 	}
 	if f, ok := c.flights[id]; ok {
 		c.stats.Shared++
 		c.mu.Unlock()
+		evShared.Inc()
 		select {
 		case <-f.done:
 			if f.err != nil {
@@ -271,13 +276,16 @@ func (c *Cache) GetOrRun(ctx context.Context, key Key, run func(context.Context)
 	switch {
 	case err != nil:
 		c.stats.Errors++
+		evError.Inc()
 	default:
 		c.insert(id, rep)
 		if outcome == OutcomeDiskHit {
 			c.stats.DiskHits++
 			c.stats.HitInstructions += rep.Committed
+			evDiskHit.Inc()
 		} else {
 			c.stats.Misses++
+			evMiss.Inc()
 		}
 	}
 	c.mu.Unlock()
@@ -294,7 +302,9 @@ func (c *Cache) lead(ctx context.Context, id string, key Key, run func(context.C
 	if rep, ok := c.loadDisk(id, key); ok {
 		return rep, OutcomeDiskHit, nil
 	}
+	t0 := time.Now()
 	rep, err := run(ctx)
+	runSeconds.ObserveSince(t0)
 	if err != nil {
 		return rep, OutcomeMiss, err
 	}
@@ -320,6 +330,7 @@ func (c *Cache) insert(id string, rep system.Report) {
 		delete(c.mem, old.id)
 		c.n--
 		c.stats.Evictions++
+		evEviction.Inc()
 	}
 }
 

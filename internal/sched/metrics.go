@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"strconv"
+
+	"sparc64v/internal/obs"
+)
+
+// Package-level scheduler metrics, registered in the process-wide registry
+// so every harness (sweep, verify, simd) reports into the same series.
+// Observation cost is two clock reads and a few atomic adds per *job*, and
+// jobs here are whole simulations, so the scheduler's serial fast path
+// stays indistinguishable from an uninstrumented loop.
+var (
+	queueDepth = obs.Default().Gauge("sparc64v_sched_queue_depth",
+		"Jobs submitted to the scheduler but not yet started.")
+	runningJobs = obs.Default().Gauge("sparc64v_sched_running",
+		"Jobs currently executing on a scheduler worker.")
+	jobSeconds = obs.Default().Histogram("sparc64v_sched_job_seconds",
+		"Submission-to-completion latency of scheduler jobs (includes queue wait).", nil)
+	jobsOK = obs.Default().Counter("sparc64v_sched_jobs_total",
+		"Scheduler jobs finished, by result.", obs.L("result", "ok"))
+	jobsErr = obs.Default().Counter("sparc64v_sched_jobs_total",
+		"Scheduler jobs finished, by result.", obs.L("result", "error"))
+)
+
+// workerBusy returns the busy-time counter for one worker slot. Worker
+// indices restart at 0 for every batch, so the series count stays bounded
+// by the widest batch ever run, and slot 0's ratio to wall time reads as
+// "serial fraction" directly.
+func workerBusy(w int) *obs.Counter {
+	return obs.Default().Counter("sparc64v_sched_worker_busy_ns_total",
+		"Nanoseconds each scheduler worker slot spent executing jobs.",
+		obs.L("worker", strconv.Itoa(w)))
+}

@@ -25,6 +25,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sparc64v/internal/obs"
 )
 
 // Options configures one scheduled batch.
@@ -126,11 +129,24 @@ func MapAllCtx[T any](ctx context.Context, n int, opt Options, job func(ctx cont
 	if workers > n {
 		workers = n
 	}
-	runOne := func(i int) {
+	submitted := time.Now()
+	queueDepth.Add(int64(n))
+	runOne := func(i int, busy *obs.Counter) {
+		queueDepth.Add(-1)
+		runningJobs.Add(1)
+		t0 := time.Now()
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 		} else {
 			out[i], errs[i] = runJob(ctx, i, job)
+		}
+		busy.Add(uint64(time.Since(t0)))
+		runningJobs.Add(-1)
+		jobSeconds.ObserveSince(submitted)
+		if errs[i] != nil {
+			jobsErr.Inc()
+		} else {
+			jobsOK.Inc()
 		}
 		if opt.OnDone != nil {
 			opt.OnDone(i, errs[i])
@@ -138,8 +154,9 @@ func MapAllCtx[T any](ctx context.Context, n int, opt Options, job func(ctx cont
 	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, deterministic by construction.
+		busy := workerBusy(0)
 		for i := 0; i < n; i++ {
-			runOne(i)
+			runOne(i, busy)
 		}
 		return out, errs
 	}
@@ -147,16 +164,17 @@ func MapAllCtx[T any](ctx context.Context, n int, opt Options, job func(ctx cont
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			busy := workerBusy(w)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				runOne(i)
+				runOne(i, busy)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out, errs

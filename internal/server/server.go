@@ -20,11 +20,14 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/expt"
+	"sparc64v/internal/obs"
 	"sparc64v/internal/runcache"
 	"sparc64v/internal/sched"
 	"sparc64v/internal/system"
@@ -51,6 +54,11 @@ type Config struct {
 	// DefaultInsts is the per-CPU trace length when a request does not
 	// specify one; 0 means 1,000,000 (the repo's standard sweep length).
 	DefaultInsts int
+	// Registry receives the server's request metrics and is rendered on
+	// /metrics after the hand-emitted series; nil means obs.Default(), so
+	// the production service also exposes the sched/runcache/metamorph
+	// series. Tests pass a fresh registry for deterministic output.
+	Registry *obs.Registry
 }
 
 // Server implements the HTTP handlers. Construct with New; serve
@@ -71,6 +79,14 @@ type Server struct {
 	runRequests   atomic.Uint64
 	studyRequests atomic.Uint64
 	rejected      atomic.Uint64
+
+	// reg holds the obs-based series; now is the request clock, scripted
+	// by the exposition golden test.
+	reg *obs.Registry
+	now func() time.Time
+
+	rejectedShed *obs.Counter
+	drains       *obs.Counter
 
 	// simulate runs one uncached simulation; tests substitute a scripted
 	// implementation to pin admission and drain behavior without
@@ -98,6 +114,9 @@ func New(c Config) (*Server, error) {
 	if c.DefaultInsts <= 0 {
 		c.DefaultInsts = 1_000_000
 	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
 	s := &Server{
 		cache:        c.Cache,
 		base:         c.Base,
@@ -106,6 +125,12 @@ func New(c Config) (*Server, error) {
 		defaultInsts: c.DefaultInsts,
 		queue:        make(chan struct{}, c.Workers+c.MaxQueue),
 		working:      make(chan struct{}, c.Workers),
+		reg:          c.Registry,
+		now:          time.Now,
+		rejectedShed: c.Registry.Counter("sparc64v_http_shed_total",
+			"Requests shed with 429 because the admission queue was full."),
+		drains: c.Registry.Counter("sparc64v_server_drains_total",
+			"Graceful drains started (SIGINT/SIGTERM shutdowns)."),
 		simulate: func(ctx context.Context, m *core.Model, p workload.Profile, opt core.RunOptions) (system.Report, error) {
 			return m.RunContext(ctx, p, opt)
 		},
@@ -119,8 +144,67 @@ func New(c Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's root handler: the route mux wrapped in the
+// request-metrics middleware.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := s.now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		endpoint := endpointLabel(r.URL.Path)
+		labels := []obs.Label{obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code))}
+		s.reg.Counter("sparc64v_http_responses_total",
+			"HTTP responses, by endpoint and status code.", labels...).Inc()
+		s.reg.Histogram("sparc64v_http_request_seconds",
+			"HTTP request handling latency, by endpoint and status code.",
+			nil, labels...).Observe(s.now().Sub(t0).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// endpointLabel maps a request path to its bounded endpoint label — never
+// the raw path, which would let clients mint unbounded series.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/v1/run":
+		return "run"
+	case strings.HasPrefix(path, "/v1/studies/"):
+		return "study"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+// DrainStarted records the beginning of a graceful shutdown; cmd/simd
+// calls it when the stop signal arrives, so post-drain scrapes (and the
+// final stderr report) show the drain happened.
+func (s *Server) DrainStarted() { s.drains.Inc() }
 
 // admit reserves capacity for one simulation. It returns ErrOverloaded
 // immediately when the queue is full, otherwise blocks until a worker slot
@@ -130,6 +214,7 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	case s.queue <- struct{}{}:
 	default:
 		s.rejected.Add(1)
+		s.rejectedShed.Inc()
 		return nil, ErrOverloaded
 	}
 	select {
@@ -229,6 +314,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer release()
 		return s.simulate(ctx, m, prof, opt)
 	})
+	if err == nil {
+		s.reg.Counter("sparc64v_server_runs_total",
+			"Completed /v1/run requests, by workload and cache outcome.",
+			obs.L("workload", prof.Name), obs.L("outcome", outcome.String())).Inc()
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
@@ -278,6 +368,8 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown study %q (have %v)", id, slugs)
 		return
 	}
+	s.reg.Counter("sparc64v_study_requests_total",
+		"Study requests served, by study slug.", obs.L("study", id)).Inc()
 	opt := core.RunOptions{
 		Insts:   s.defaultInsts,
 		Workers: s.workers,
@@ -383,6 +475,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("# TYPE sparc64v_simulated_runs_total counter\n")
 	emit("sparc64v_simulated_runs_total %d\n", runs)
 	w.Write(b)
+	// The obs registry follows the hand-emitted block: request histograms,
+	// per-study/per-workload counters, and (on the default registry) the
+	// sched/runcache/metamorph series.
+	s.reg.WritePrometheus(w)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
