@@ -7,7 +7,7 @@ INSTS ?= 1000000
 # with unchanged config+workload+seed+model are served without simulating.
 CACHE_DIR ?= .simcache
 
-.PHONY: build test race bench benchdiff bench-baseline sweep accuracy serve smoke verify verify-quick clean
+.PHONY: build test race bench benchdiff bench-baseline sampling-speedup sweep accuracy serve smoke verify verify-quick clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ benchdiff:
 
 bench-baseline:
 	./scripts/benchdiff.sh -update
+
+# Re-measures the sampled-simulation demonstration (4-CPU TPC-C, 2M
+# insts/CPU: >= 10x speedup at |CPI error| < 5%) and rewrites the
+# checked-in artifact scripts/sampling_speedup.json. Fails if the bar is
+# missed. See DESIGN.md "Sampled simulation".
+sampling-speedup:
+	./scripts/sampling_speedup.sh
 
 # Regenerates EXPERIMENTS.md at full trace length (stderr carries the
 # per-study wall times, effective sim-instrs/s, and cache summary). The

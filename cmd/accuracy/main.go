@@ -52,6 +52,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "abort the workflow after this long (0 = no limit)")
 		cacheDir     = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
 		profile      = flag.String("profile", "", "write a JSON timing+counter profile of every run to this file")
+		sample       = flag.String("sample", "", "sampled simulation for the ladder and trend runs: off|auto|interval=N,warmup=N,measure=N[,offset=N]")
 	)
 	flag.Parse()
 	prof, ok := workload.ByName(*workloadName)
@@ -68,6 +69,12 @@ func main() {
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
 		opt.Workers = 1
+	}
+	// Sampling accelerates the ladder and trend sections; the reverse-tracer
+	// round trip below is a cycle-exact comparison and always runs full.
+	var sampErr error
+	if opt.Sample, sampErr = config.ParseSampling(*sample, *insts); sampErr != nil {
+		fatal("%v", sampErr)
 	}
 	if *profile != "" {
 		opt.Obs = obs.NewCollector()

@@ -36,6 +36,7 @@ func main() {
 		noPrefetch   = flag.Bool("no-prefetch", false, "disable the L2 hardware prefetcher")
 		oneRS        = flag.Bool("1rs", false, "fused single reservation station per unit class")
 		breakdown    = flag.Bool("breakdown", false, "run the Figure 7 perfect-ization breakdown")
+		sample       = flag.String("sample", "", "sampled simulation: off|auto|interval=N,warmup=N,measure=N[,offset=N]")
 		verbose      = flag.Bool("v", false, "print per-CPU detail")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
 		configFile   = flag.String("config", "", "JSON config overlay applied on top of the preset")
@@ -95,6 +96,13 @@ func main() {
 	}
 
 	opt := core.RunOptions{Insts: *insts, Seed: *seed}
+	var err error
+	if opt.Sample, err = config.ParseSampling(*sample, *insts); err != nil {
+		fatal("%v", err)
+	}
+	if opt.Sample.Enabled() && *breakdown {
+		fatal("-sample and -breakdown are mutually exclusive")
+	}
 
 	if *traceFile != "" {
 		runTraceFile(cfg, *traceFile, opt, *verbose, *jsonOut)
@@ -182,6 +190,11 @@ func printReport(r *system.Report, verbose bool) {
 	t.AddRow("cache-to-cache transfers", r.Coherence.CacheTransfers)
 	t.AddRow("invalidations", r.Coherence.Invalidations)
 	fmt.Print(t.String())
+	if s := r.Sampling; s != nil {
+		fmt.Printf("sampled: %d windows (interval=%d warmup=%d measure=%d), ff=%d detailed=%d insts, CPI %.4f ± %.4f (95%%)\n",
+			s.Windows, s.Interval, s.Warmup, s.Measure,
+			s.FastForwarded, s.DetailedInsts, s.CPIMean, s.CPIHalf95)
+	}
 	if verbose {
 		for i := range r.CPUs {
 			c := &r.CPUs[i]

@@ -35,6 +35,7 @@ import (
 	"os/signal"
 	"time"
 
+	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/expt"
 	"sparc64v/internal/obs"
@@ -52,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
 		profile  = flag.String("profile", "", "write a JSON timing+counter profile of every run to this file")
+		sample   = flag.String("sample", "", "sampled simulation for every study: off|auto|interval=N,warmup=N,measure=N[,offset=N]")
 	)
 	flag.Parse()
 
@@ -66,6 +68,11 @@ func main() {
 	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
 	if !*parallel {
 		opt.Workers = 1
+	}
+	var err error
+	if opt.Sample, err = config.ParseSampling(*sample, *insts); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
 	}
 	if *profile != "" {
 		opt.Obs = obs.NewCollector()

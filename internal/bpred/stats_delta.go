@@ -1,0 +1,28 @@
+package bpred
+
+// Counter-block arithmetic for snapshot-delta measurement (the sampling
+// driver in internal/core). All Stats fields are monotonic counters.
+
+// Sub returns the field-wise difference s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		CondBranches:      s.CondBranches - o.CondBranches,
+		CondMispredicts:   s.CondMispredicts - o.CondMispredicts,
+		Calls:             s.Calls - o.Calls,
+		Returns:           s.Returns - o.Returns,
+		ReturnMispredicts: s.ReturnMispredicts - o.ReturnMispredicts,
+		BHTHits:           s.BHTHits - o.BHTHits,
+	}
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		CondBranches:      s.CondBranches + o.CondBranches,
+		CondMispredicts:   s.CondMispredicts + o.CondMispredicts,
+		Calls:             s.Calls + o.Calls,
+		Returns:           s.Returns + o.Returns,
+		ReturnMispredicts: s.ReturnMispredicts + o.ReturnMispredicts,
+		BHTHits:           s.BHTHits + o.BHTHits,
+	}
+}

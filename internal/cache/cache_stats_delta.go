@@ -1,0 +1,30 @@
+package cache
+
+// Counter-block arithmetic for snapshot-delta measurement (the sampling
+// driver in internal/core). All Stats fields are monotonic counters.
+
+// Sub returns the field-wise difference s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		DemandAccesses:          s.DemandAccesses - o.DemandAccesses,
+		DemandMisses:            s.DemandMisses - o.DemandMisses,
+		PrefetchAccesses:        s.PrefetchAccesses - o.PrefetchAccesses,
+		PrefetchMisses:          s.PrefetchMisses - o.PrefetchMisses,
+		Writebacks:              s.Writebacks - o.Writebacks,
+		PrefetchedUseful:        s.PrefetchedUseful - o.PrefetchedUseful,
+		PrefetchedEvictedUnused: s.PrefetchedEvictedUnused - o.PrefetchedEvictedUnused,
+	}
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		DemandAccesses:          s.DemandAccesses + o.DemandAccesses,
+		DemandMisses:            s.DemandMisses + o.DemandMisses,
+		PrefetchAccesses:        s.PrefetchAccesses + o.PrefetchAccesses,
+		PrefetchMisses:          s.PrefetchMisses + o.PrefetchMisses,
+		Writebacks:              s.Writebacks + o.Writebacks,
+		PrefetchedUseful:        s.PrefetchedUseful + o.PrefetchedUseful,
+		PrefetchedEvictedUnused: s.PrefetchedEvictedUnused + o.PrefetchedEvictedUnused,
+	}
+}

@@ -1,0 +1,26 @@
+package coherence
+
+// Counter-block arithmetic for snapshot-delta measurement (the sampling
+// driver in internal/core). All Stats fields are monotonic counters.
+
+// Sub returns the field-wise difference s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		MemoryReads:    s.MemoryReads - o.MemoryReads,
+		CacheTransfers: s.CacheTransfers - o.CacheTransfers,
+		Invalidations:  s.Invalidations - o.Invalidations,
+		Upgrades:       s.Upgrades - o.Upgrades,
+		Writebacks:     s.Writebacks - o.Writebacks,
+	}
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MemoryReads:    s.MemoryReads + o.MemoryReads,
+		CacheTransfers: s.CacheTransfers + o.CacheTransfers,
+		Invalidations:  s.Invalidations + o.Invalidations,
+		Upgrades:       s.Upgrades + o.Upgrades,
+		Writebacks:     s.Writebacks + o.Writebacks,
+	}
+}

@@ -1,0 +1,74 @@
+package config
+
+import "testing"
+
+func TestSamplingValidate(t *testing.T) {
+	cases := []struct {
+		s  Sampling
+		ok bool
+	}{
+		{Sampling{}, true}, // zero value: disabled
+		{Sampling{IntervalInsts: 100_000, WarmupInsts: 2_000, MeasureInsts: 5_000}, true},
+		{Sampling{IntervalInsts: 100, WarmupInsts: 60, MeasureInsts: 50}, false}, // warm+measure > interval
+		{Sampling{IntervalInsts: 100, MeasureInsts: 0}, false},                   // no measurement
+		{Sampling{IntervalInsts: 100, MeasureInsts: 50, WarmupInsts: -1}, false},
+		{Sampling{MeasureInsts: 50}, false},                   // windows set but interval 0
+		{Sampling{IntervalInsts: 10, MeasureInsts: 10}, true}, // zero-length fast-forward
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+}
+
+func TestParseSampling(t *testing.T) {
+	s, err := ParseSampling("interval=100000,warmup=2000,measure=5000,offset=7", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sampling{IntervalInsts: 100_000, WarmupInsts: 2_000, MeasureInsts: 5_000, OffsetInsts: 7}
+	if s != want {
+		t.Errorf("parsed %+v, want %+v", s, want)
+	}
+	if round, err := ParseSampling(s.String(), 0); err != nil || round != s {
+		t.Errorf("String round trip: %+v, %v", round, err)
+	}
+
+	for _, spec := range []string{"", "off"} {
+		if s, err := ParseSampling(spec, 400_000); err != nil || s.Enabled() {
+			t.Errorf("ParseSampling(%q) = %+v, %v", spec, s, err)
+		}
+	}
+	auto, err := ParseSampling("auto", 400_000)
+	if err != nil || !auto.Enabled() {
+		t.Fatalf("auto: %+v, %v", auto, err)
+	}
+	if err := auto.Validate(); err != nil {
+		t.Errorf("auto schedule invalid: %v", err)
+	}
+	// Auto schedules stay valid even for tiny traces.
+	tiny, err := ParseSampling("auto", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.Validate(); err != nil {
+		t.Errorf("tiny auto schedule invalid: %v (%+v)", err, tiny)
+	}
+
+	for _, bad := range []string{"interval=x", "nope=3", "interval=100,warmup=60,measure=50", "interval"} {
+		if _, err := ParseSampling(bad, 0); err == nil {
+			t.Errorf("ParseSampling(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSamplingDetailedFraction(t *testing.T) {
+	s := Sampling{IntervalInsts: 100_000, WarmupInsts: 2_000, MeasureInsts: 3_000}
+	if f := s.DetailedFraction(); f != 0.05 {
+		t.Errorf("DetailedFraction = %v", f)
+	}
+	if f := (Sampling{}).DetailedFraction(); f != 1 {
+		t.Errorf("disabled DetailedFraction = %v", f)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+// Full-run vs sampled-run benchmarks: the pair that quantifies the sampled
+// simulation speedup on identical inputs. The benchdiff gate
+// (scripts/benchdiff.sh) tracks both, so a regression that erodes the
+// fast-forward advantage — or an allocation added to either path — fails CI.
+// The headline multiprocessor speedup artifact (BENCH_*.json) is produced
+// from these numbers plus the MP validation run in DESIGN.md.
+
+import (
+	"testing"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/workload"
+)
+
+// benchSampleSchedule is the benchmark schedule: 12.5% of each interval in
+// detailed mode, matching the validation schedules in EXPERIMENTS.md.
+func benchSampleSchedule() config.Sampling {
+	return config.Sampling{IntervalInsts: 40_000, WarmupInsts: 2_000, MeasureInsts: 3_000}
+}
+
+func benchRun(b *testing.B, opt RunOptions) {
+	b.Helper()
+	b.ReportAllocs()
+	m, err := NewModel(config.Base())
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := m.Run(workload.SPECint95(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int64(r.Committed)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+func BenchmarkFullRun(b *testing.B) {
+	benchRun(b, RunOptions{Insts: 120_000})
+}
+
+func BenchmarkSampledRun(b *testing.B) {
+	benchRun(b, RunOptions{Insts: 120_000, Sample: benchSampleSchedule()})
+}

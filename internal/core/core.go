@@ -26,7 +26,7 @@ import (
 // version that produced it. Bump this on ANY change that can alter
 // simulation output — timing fixes, new counters, workload-generator
 // changes — or stale results will be served as current ones.
-const ModelVersion = "sparc64v-model/4"
+const ModelVersion = "sparc64v-model/5"
 
 // Simulation meter: committed instructions, cycles and runs actually
 // simulated in this process (cache-served results do not count). The sweep
@@ -97,6 +97,17 @@ type RunOptions struct {
 	// profiling at zero cost; profiling never changes simulation results
 	// (pinned by TestInstrumentationIsInvisible).
 	Obs *obs.Collector
+	// Sample, when enabled, switches the run to sampled simulation: most of
+	// the trace fast-forwards through a functional executor and only
+	// periodic detailed windows are measured (see sample.go). The sampled
+	// Report estimates the full run's rates and CPI at a fraction of the
+	// wall time; Report.Sampling records the schedule and error bound.
+	// Sampling is part of the run's cache identity (runcache.Key.Sampling),
+	// so sampled and full results never cross-serve. Under sampling, Warmup
+	// is fast-forwarded before the first interval (so sampled and full runs
+	// measure the same post-warm-up population) and the per-window detailed
+	// warm-up replaces the classic measurement reset.
+	Sample config.Sampling
 }
 
 func (o *RunOptions) defaults() {
@@ -178,14 +189,25 @@ func (m *Model) runKey(p workload.Profile, opt RunOptions) (runcache.Key, error)
 	if err != nil {
 		return runcache.Key{}, err
 	}
-	return runcache.Key{
+	key := runcache.Key{
 		ConfigHash:  ch,
 		Workload:    p.Name,
 		ProfileHash: ph,
 		Seed:        opt.Seed,
 		Insts:       opt.Insts,
 		Version:     ModelVersion,
-	}, nil
+	}
+	// A sampled run produces a different (estimated) Report than a full
+	// run of the same inputs, so the sampling schedule joins the content
+	// address; the empty string keeps full-run keys unchanged.
+	if opt.Sample.Enabled() {
+		sj, err := config.CanonicalJSON(opt.Sample)
+		if err != nil {
+			return runcache.Key{}, err
+		}
+		key.Sampling = string(sj)
+	}
+	return key, nil
 }
 
 // runProfile generates the profile's traces and simulates them (the
@@ -209,6 +231,9 @@ func (m *Model) RunSources(label string, srcs []trace.Source, opt RunOptions) (s
 // ctx.Err().
 func (m *Model) RunSourcesContext(ctx context.Context, label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
 	opt.defaults()
+	if opt.Sample.Enabled() {
+		return m.runSampled(ctx, label, srcs, opt)
+	}
 	sp := opt.Obs.StartSpan("run", label)
 	cfg := m.cfg
 	cfg.WarmupInsts = opt.Warmup

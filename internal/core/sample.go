@@ -1,0 +1,391 @@
+package core
+
+// Sampled simulation (SMARTS-style systematic sampling).
+//
+// runSampled alternates three modes over the trace:
+//
+//	fast-forward      functional execution (cpu.FastForward): caches, TLBs
+//	                  and the branch predictor stay warm; no cycles pass.
+//	detailed warm-up  the out-of-order model runs but its statistics are
+//	                  discarded — it re-establishes the pipeline, queue and
+//	                  MSHR state the functional mode does not track.
+//	measurement       the out-of-order model runs and the window's counter
+//	                  deltas accumulate into the final Report.
+//
+// Measurement is snapshot-based: counters are read before and after each
+// window and the difference accumulated, so warm-up and fast-forward
+// pollution of shared counters never leaks into results. The headline CPI
+// is the ratio estimator Σcycles/Σcommitted over all windows; the
+// per-window CPI spread yields the reported confidence bound.
+//
+// The driver is strictly serial per run (windows depend on each other's
+// machine state), so sampled Reports are byte-identical at any harness
+// worker count, exactly like full runs.
+
+import (
+	"fmt"
+	"math"
+
+	"context"
+
+	"sparc64v/internal/bpred"
+	"sparc64v/internal/cache"
+	"sparc64v/internal/coherence"
+	"sparc64v/internal/cpu"
+	"sparc64v/internal/obs"
+	"sparc64v/internal/stats"
+	"sparc64v/internal/system"
+	"sparc64v/internal/trace"
+)
+
+// sampleGate budgets a CPU's trace source: Next serves at most budget
+// records, so a detailed window ends (the CPU drains) after exactly the
+// window's instruction count — or earlier when the underlying trace dries
+// up, which dry latches.
+type sampleGate struct {
+	src    trace.Source
+	budget int
+	dry    bool
+}
+
+// Next implements trace.Source.
+func (g *sampleGate) Next(r *trace.Record) bool {
+	if g.budget <= 0 || g.dry {
+		return false
+	}
+	if !g.src.Next(r) {
+		g.dry = true
+		return false
+	}
+	g.budget--
+	return true
+}
+
+// cpuSnap is one CPU's counter snapshot (core, predictor, caches, TLBs).
+type cpuSnap struct {
+	core              cpu.Stats
+	branch            bpred.Stats
+	l1i, l1d, l2      cache.Stats
+	itlbAcc, itlbMiss uint64
+	dtlbAcc, dtlbMiss uint64
+}
+
+// sysSnap is a whole-machine counter snapshot.
+type sysSnap struct {
+	cpus              []cpuSnap
+	coh               coherence.Stats
+	busWait, dramWait uint64
+}
+
+func snapshot(sys *system.System, ncpu int) sysSnap {
+	s := sysSnap{cpus: make([]cpuSnap, ncpu)}
+	for i := 0; i < ncpu; i++ {
+		c, chip := sys.CPU(i), sys.Chip(i)
+		cs := &s.cpus[i]
+		cs.core = c.Stats
+		if p := c.Predictor(); p != nil {
+			cs.branch = p.Stats
+		}
+		cs.l1i, cs.l1d, cs.l2 = chip.L1I.Stats, chip.L1D.Stats, chip.L2.Stats
+		cs.itlbAcc, cs.itlbMiss = chip.ITLB.Accesses, chip.ITLB.Misses
+		cs.dtlbAcc, cs.dtlbMiss = chip.DTLB.Accesses, chip.DTLB.Misses
+	}
+	s.coh = sys.Controller().Stats
+	s.busWait = sys.Bus().WaitCycles()
+	s.dramWait = sys.DRAM().WaitCycles()
+	return s
+}
+
+// sub returns the field-wise counter difference s - o.
+func (s sysSnap) sub(o sysSnap) sysSnap {
+	d := sysSnap{cpus: make([]cpuSnap, len(s.cpus))}
+	for i := range s.cpus {
+		a, b := &s.cpus[i], &o.cpus[i]
+		d.cpus[i] = cpuSnap{
+			core:     a.core.Sub(b.core),
+			branch:   a.branch.Sub(b.branch),
+			l1i:      a.l1i.Sub(b.l1i),
+			l1d:      a.l1d.Sub(b.l1d),
+			l2:       a.l2.Sub(b.l2),
+			itlbAcc:  a.itlbAcc - b.itlbAcc,
+			itlbMiss: a.itlbMiss - b.itlbMiss,
+			dtlbAcc:  a.dtlbAcc - b.dtlbAcc,
+			dtlbMiss: a.dtlbMiss - b.dtlbMiss,
+		}
+	}
+	d.coh = s.coh.Sub(o.coh)
+	d.busWait = s.busWait - o.busWait
+	d.dramWait = s.dramWait - o.dramWait
+	return d
+}
+
+// add returns the field-wise counter sum s + o.
+func (s sysSnap) add(o sysSnap) sysSnap {
+	a := sysSnap{cpus: make([]cpuSnap, len(s.cpus))}
+	for i := range s.cpus {
+		x, y := &s.cpus[i], &o.cpus[i]
+		a.cpus[i] = cpuSnap{
+			core:     x.core.Add(y.core),
+			branch:   x.branch.Add(y.branch),
+			l1i:      x.l1i.Add(y.l1i),
+			l1d:      x.l1d.Add(y.l1d),
+			l2:       x.l2.Add(y.l2),
+			itlbAcc:  x.itlbAcc + y.itlbAcc,
+			itlbMiss: x.itlbMiss + y.itlbMiss,
+			dtlbAcc:  x.dtlbAcc + y.dtlbAcc,
+			dtlbMiss: x.dtlbMiss + y.dtlbMiss,
+		}
+	}
+	a.coh = s.coh.Add(o.coh)
+	a.busWait = s.busWait + o.busWait
+	a.dramWait = s.dramWait + o.dramWait
+	return a
+}
+
+// committed sums committed instructions across CPUs.
+func (s sysSnap) committed() uint64 {
+	var n uint64
+	for i := range s.cpus {
+		n += s.cpus[i].core.Committed
+	}
+	return n
+}
+
+// cpi returns aggregate cycles per committed instruction.
+func (s sysSnap) cpi() float64 {
+	var cyc, com uint64
+	for i := range s.cpus {
+		cyc += s.cpus[i].core.Cycles
+		com += s.cpus[i].core.Committed
+	}
+	if com == 0 {
+		return 0
+	}
+	return float64(cyc) / float64(com)
+}
+
+// ffPollStride is how many fast-forwarded records pass between context
+// polls — the functional-mode analogue of system.RunContext's cycle-stride
+// poll.
+const ffPollStride = 8192
+
+// runSampled is the sampled-simulation driver behind RunSourcesContext
+// (opt.Sample enabled). It returns a Report whose counter blocks cover the
+// measurement windows and whose Sampling field carries the schedule, mode
+// split and error model.
+func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
+	sc := opt.Sample
+	if err := sc.Validate(); err != nil {
+		return system.Report{}, err
+	}
+	sp := opt.Obs.StartSpan("run", label)
+	cfg := m.cfg
+	// The per-window detailed warm-up replaces the classic warm-up reset;
+	// a mid-run resetMeasurement would corrupt snapshot deltas.
+	cfg.WarmupInsts = 0
+	endBuild := sp.Phase(obs.PhaseBuild)
+	gates := make([]*sampleGate, len(srcs))
+	gsrcs := make([]trace.Source, len(srcs))
+	for i, s := range srcs {
+		gates[i] = &sampleGate{src: s}
+		gsrcs[i] = gates[i]
+	}
+	sys, err := system.New(cfg, gsrcs)
+	if err != nil {
+		endBuild()
+		return system.Report{}, err
+	}
+	ncpu := cfg.CPUs
+	ffs := make([]*cpu.FastForward, ncpu)
+	for i := 0; i < ncpu; i++ {
+		ffs[i] = cpu.NewFastForward(sys.CPU(i))
+	}
+	endBuild()
+
+	var simErr error
+	var capped bool
+	done := ctx.Done()
+
+	// fastForward advances every live CPU n records functionally.
+	fastForward := func(n int) {
+		if n <= 0 || simErr != nil {
+			return
+		}
+		end := sp.Phase(obs.PhaseFastForward)
+		defer end()
+		var rec trace.Record
+		for i, g := range gates {
+			if g.dry {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if done != nil && k%ffPollStride == 0 {
+					select {
+					case <-done:
+						simErr = ctx.Err()
+						return
+					default:
+					}
+				}
+				if !g.src.Next(&rec) {
+					g.dry = true
+					break
+				}
+				ffs[i].Step(&rec)
+			}
+		}
+	}
+
+	allDry := func() bool {
+		for _, g := range gates {
+			if !g.dry {
+				return false
+			}
+		}
+		return true
+	}
+
+	// runWindow gives every live CPU a budget of n records and runs the
+	// detailed machine until it drains again. Returns false when the run
+	// must stop (cancellation or cycle cap).
+	runWindow := func(n int) bool {
+		if n <= 0 || simErr != nil || capped {
+			return simErr == nil && !capped
+		}
+		live := false
+		for i, g := range gates {
+			if g.dry {
+				continue
+			}
+			g.budget = n
+			sys.CPU(i).ResumeSource()
+			live = true
+		}
+		if !live {
+			return true
+		}
+		end := sp.Phase(obs.PhaseSim)
+		_, c, err := sys.RunContext(ctx, opt.MaxCycles)
+		end()
+		if err != nil {
+			simErr = err
+			return false
+		}
+		if c {
+			capped = true
+			return false
+		}
+		return true
+	}
+
+	ffGap := sc.IntervalInsts - sc.WarmupInsts - sc.MeasureInsts
+	start := snapshot(sys, ncpu)
+	acc := sysSnap{cpus: make([]cpuSnap, ncpu)}
+	var windows []float64
+	var measuredCycles uint64
+
+	// Fast-forward the run-level warm-up region plus the schedule's offset
+	// before the first interval. A full run excludes its first opt.Warmup
+	// committed instructions from statistics (the cold-start transient);
+	// sampling the same population is what makes sampled and full reports
+	// comparable — without this skip the early windows measure cold caches
+	// the full run deliberately discards.
+	fastForward(int(opt.Warmup) + sc.OffsetInsts)
+	for simErr == nil && !capped && !allDry() {
+		runWindow(sc.WarmupInsts)
+		pre := snapshot(sys, ncpu)
+		preCyc := sys.Cycle()
+		runWindow(sc.MeasureInsts)
+		d := snapshot(sys, ncpu).sub(pre)
+		if d.committed() > 0 {
+			acc = acc.add(d)
+			measuredCycles += sys.Cycle() - preCyc
+			windows = append(windows, d.cpi())
+		}
+		fastForward(ffGap)
+	}
+
+	// Degenerate schedules (trace shorter than one warm-up window, window
+	// longer than the trace): no measurement window completed any commits,
+	// so fall back to everything the detailed model did simulate.
+	if len(windows) == 0 {
+		acc = snapshot(sys, ncpu).sub(start)
+		measuredCycles = sys.Cycle()
+		if acc.committed() > 0 {
+			windows = append(windows, acc.cpi())
+		}
+	}
+
+	endReport := sp.Phase(obs.PhaseReport)
+	rep := system.Report{Name: cfg.Name, Workload: label, Cycles: measuredCycles, HitCap: capped}
+	var measCycles uint64
+	for i := 0; i < ncpu; i++ {
+		cs := &acc.cpus[i]
+		rep.CPUs = append(rep.CPUs, system.CPUReport{
+			Core:         cs.core,
+			Branch:       cs.branch,
+			L1I:          cs.l1i,
+			L1D:          cs.l1d,
+			L2:           cs.l2,
+			ITLBMissRate: stats.Ratio(cs.itlbMiss, cs.itlbAcc),
+			DTLBMissRate: stats.Ratio(cs.dtlbMiss, cs.dtlbAcc),
+		})
+		rep.Committed += cs.core.Committed
+		measCycles += cs.core.Cycles
+	}
+	rep.Coherence = acc.coh
+	rep.BusWaitCycles = acc.busWait
+	rep.DRAMWaitCycles = acc.dramWait
+
+	var ffInsts, detInsts uint64
+	for i := 0; i < ncpu; i++ {
+		ffInsts += ffs[i].Insts
+		detInsts += sys.CPU(i).Stats.Committed
+	}
+	info := &system.SamplingInfo{
+		Interval:       sc.IntervalInsts,
+		Warmup:         sc.WarmupInsts,
+		Measure:        sc.MeasureInsts,
+		Offset:         sc.OffsetInsts,
+		Windows:        len(windows),
+		FastForwarded:  ffInsts,
+		DetailedInsts:  detInsts,
+		MeasuredInsts:  rep.Committed,
+		DetailedCycles: sys.Cycle(),
+	}
+	if n := len(windows); n > 0 {
+		info.CPIMean = stats.Mean(windows)
+		if n > 1 {
+			var ss float64
+			for _, x := range windows {
+				d := x - info.CPIMean
+				ss += d * d
+			}
+			info.CPIStd = math.Sqrt(ss / float64(n-1))
+			info.CPIHalf95 = 1.96 * info.CPIStd / math.Sqrt(float64(n))
+		}
+	}
+	if rep.Committed > 0 {
+		cpi := float64(measCycles) / float64(rep.Committed)
+		perCPU := float64(ffInsts+detInsts) / float64(ncpu)
+		info.EstimatedCycles = uint64(cpi*perCPU + 0.5)
+	}
+	rep.Sampling = info
+
+	meterInstrs.Add(detInsts)
+	meterCycles.Add(sys.Cycle())
+	meterRuns.Add(1)
+	endReport()
+	spanReport(sp, rep)
+	sp.Add("ff_insts", int64(ffInsts))
+	sp.Add("sample_windows", int64(len(windows)))
+	sp.Finish()
+
+	if simErr != nil {
+		return rep, fmt.Errorf("core: %s/%s cancelled: %w", m.cfg.Name, label, simErr)
+	}
+	if capped {
+		return rep, fmt.Errorf("core: %s/%s hit the %d-cycle cap", m.cfg.Name, label, opt.MaxCycles)
+	}
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package cpu
+
+// Counter-block arithmetic for the sampling driver (internal/core), which
+// measures detailed windows as snapshot deltas: every field of Stats is a
+// monotonic counter, so a window's activity is simply after.Sub(before),
+// and whole-run measured activity is the Add over all windows.
+
+// Sub returns the field-wise difference s - o (s must be a later snapshot
+// of the same counter block).
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{
+		Cycles:             s.Cycles - o.Cycles,
+		Committed:          s.Committed - o.Committed,
+		Fetched:            s.Fetched - o.Fetched,
+		StallWindow:        s.StallWindow - o.StallWindow,
+		StallRename:        s.StallRename - o.StallRename,
+		StallRS:            s.StallRS - o.StallRS,
+		StallLQ:            s.StallLQ - o.StallLQ,
+		StallSQ:            s.StallSQ - o.StallSQ,
+		FetchStallICache:   s.FetchStallICache - o.FetchStallICache,
+		FetchStallBranch:   s.FetchStallBranch - o.FetchStallBranch,
+		FetchBubbles:       s.FetchBubbles - o.FetchBubbles,
+		SpecCancels:        s.SpecCancels - o.SpecCancels,
+		BankConflicts:      s.BankConflicts - o.BankConflicts,
+		StoresDrained:      s.StoresDrained - o.StoresDrained,
+		StoreForwards:      s.StoreForwards - o.StoreForwards,
+		SpecialSerialized:  s.SpecialSerialized - o.SpecialSerialized,
+		ZeroCommitFrontend: s.ZeroCommitFrontend - o.ZeroCommitFrontend,
+		ZeroCommitMemory:   s.ZeroCommitMemory - o.ZeroCommitMemory,
+		ZeroCommitExecute:  s.ZeroCommitExecute - o.ZeroCommitExecute,
+		ZeroCommitRS:       s.ZeroCommitRS - o.ZeroCommitRS,
+		ZeroCommitSpec:     s.ZeroCommitSpec - o.ZeroCommitSpec,
+	}
+	for i := range d.CommittedByClass {
+		d.CommittedByClass[i] = s.CommittedByClass[i] - o.CommittedByClass[i]
+	}
+	return d
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	a := Stats{
+		Cycles:             s.Cycles + o.Cycles,
+		Committed:          s.Committed + o.Committed,
+		Fetched:            s.Fetched + o.Fetched,
+		StallWindow:        s.StallWindow + o.StallWindow,
+		StallRename:        s.StallRename + o.StallRename,
+		StallRS:            s.StallRS + o.StallRS,
+		StallLQ:            s.StallLQ + o.StallLQ,
+		StallSQ:            s.StallSQ + o.StallSQ,
+		FetchStallICache:   s.FetchStallICache + o.FetchStallICache,
+		FetchStallBranch:   s.FetchStallBranch + o.FetchStallBranch,
+		FetchBubbles:       s.FetchBubbles + o.FetchBubbles,
+		SpecCancels:        s.SpecCancels + o.SpecCancels,
+		BankConflicts:      s.BankConflicts + o.BankConflicts,
+		StoresDrained:      s.StoresDrained + o.StoresDrained,
+		StoreForwards:      s.StoreForwards + o.StoreForwards,
+		SpecialSerialized:  s.SpecialSerialized + o.SpecialSerialized,
+		ZeroCommitFrontend: s.ZeroCommitFrontend + o.ZeroCommitFrontend,
+		ZeroCommitMemory:   s.ZeroCommitMemory + o.ZeroCommitMemory,
+		ZeroCommitExecute:  s.ZeroCommitExecute + o.ZeroCommitExecute,
+		ZeroCommitRS:       s.ZeroCommitRS + o.ZeroCommitRS,
+		ZeroCommitSpec:     s.ZeroCommitSpec + o.ZeroCommitSpec,
+	}
+	for i := range a.CommittedByClass {
+		a.CommittedByClass[i] = s.CommittedByClass[i] + o.CommittedByClass[i]
+	}
+	return a
+}

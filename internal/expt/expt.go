@@ -513,6 +513,10 @@ func Studies() []Study {
 			r, err := HPCStudyCtx(ctx, o)
 			return []Result{r}, err
 		}},
+		{"Sampling", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := SampledStudyCtx(ctx, o)
+			return []Result{r}, err
+		}},
 		{"Section 2.1", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
 			return []Result{ModelSpeedCtx(ctx, o)}, nil
 		}},
@@ -609,6 +613,70 @@ func HPCStudyCtx(ctx context.Context, opt core.RunOptions) (Result, error) {
 	return Result{ID: "Extension", Title: "HPC: dual multiply-add units", Table: t,
 		Notes: []string{"the paper: \"having two sets of floating-point multiply-add execution",
 			"units is effective for HPC performance\" — quantified here"}}, nil
+}
+
+// SampledStudy validates sampled simulation (internal/core/sample.go)
+// against the full model: every uniprocessor workload runs both ways and
+// the table reports the CPI agreement, the per-run window count, and the
+// fraction of instructions that ran on the detailed model. The rendered
+// numbers are all deterministic — wall-clock speedups are measured by the
+// benchmark suite (BenchmarkSampledRun), not here, so EXPERIMENTS.md stays
+// byte-identical across hosts.
+func SampledStudy(opt core.RunOptions) (Result, error) {
+	return SampledStudyCtx(context.Background(), opt)
+}
+
+// sampledStudySchedule is the validation schedule for a trace of n
+// instructions: ~40 intervals with a 2k detailed warm-up and a measurement
+// window of interval/5, clamped for short traces. The window count and the
+// measure fraction are sized for SPECfp95, whose long-latency phases give
+// the per-window CPI the widest spread of the standard workloads; with
+// fewer or shorter windows its estimate drifts past 5%.
+func sampledStudySchedule(n int) config.Sampling {
+	s := config.Sampling{IntervalInsts: n / 40, WarmupInsts: 2_000}
+	if s.IntervalInsts < 10_000 {
+		s.IntervalInsts = 10_000
+	}
+	s.MeasureInsts = s.IntervalInsts / 5
+	if s.MeasureInsts < 2_000 {
+		s.MeasureInsts = 2_000
+	}
+	return s
+}
+
+// SampledStudyCtx is SampledStudy with a cancellation point.
+func SampledStudyCtx(ctx context.Context, opt core.RunOptions) (Result, error) {
+	opt.Sample = config.Sampling{} // the comparison baseline is always a full run
+	sc := sampledStudySchedule(opt.Insts)
+	t := stats.NewTable(fmt.Sprintf("Sampled vs full simulation (%s)", sc),
+		"workload", "full CPI", "sampled CPI", "err %", "windows", "detailed %")
+	sampOpt := opt
+	sampOpt.Sample = sc
+	profiles := workload.UPProfiles()
+	jobs := make([]job, 0, 2*len(profiles))
+	for _, p := range profiles {
+		jobs = append(jobs, job{cfg: config.Base(), p: p, opt: opt},
+			job{cfg: config.Base(), p: p, opt: sampOpt})
+	}
+	reports, err := runJobs(ctx, jobs, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, p := range profiles {
+		full, samp := reports[2*i], reports[2*i+1]
+		fullCPI, sampCPI := 1/full.IPC(), 1/samp.IPC()
+		windows, detailed := 0, 0.0
+		if s := samp.Sampling; s != nil {
+			windows = s.Windows
+			detailed = 100 * float64(s.DetailedInsts) / float64(s.DetailedInsts+s.FastForwarded)
+		}
+		t.AddRow(p.Name, fullCPI, sampCPI,
+			stats.PercentDelta(sampCPI, fullCPI), windows, detailed)
+	}
+	return Result{ID: "Sampling", Title: "Sampled simulation validation", Table: t,
+		Notes: []string{"sampled runs fast-forward between detailed measurement windows (SMARTS-style);",
+			"CPI agreement within a few percent at a fraction of the detailed instructions —",
+			"wall-clock speedup is measured by BenchmarkSampledRun (see DESIGN.md)"}}, nil
 }
 
 // ModelSpeed measures the simulator's own throughput — the modern

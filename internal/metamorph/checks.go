@@ -33,6 +33,16 @@ const (
 	ipcRelTol = 0.02
 	// cycRelTol is the relative slack on cycle-count comparisons.
 	cycRelTol = 0.01
+	// sampledCPITol is the relative slack between a sampled run's CPI
+	// estimate and the full run's CPI (the ISSUE's ε): systematic sampling
+	// with functional warming should land well inside 5% on the stock
+	// schedules.
+	sampledCPITol = 0.05
+	// trendDeadBand is the minimum relative CPI delta a config change must
+	// produce in the full model before the sampled run's trend direction is
+	// checked — below it the sign carries no signal and sampling noise could
+	// legitimately flip it.
+	trendDeadBand = 0.02
 )
 
 // Catalog returns the invariant catalog in display order.
@@ -97,6 +107,11 @@ func Catalog() []Check {
 			Name: "diff-reference-trend", Kind: "differential",
 			Detail: "design-change direction agrees with the in-order reference model",
 			Run:    checkDiffReferenceTrend,
+		},
+		{
+			Name: "sampled-cpi", Kind: "differential",
+			Detail: "sampled-mode CPI within 5% of the full run; config trends keep their sign",
+			Run:    checkSampledCPI,
 		},
 	}
 }
@@ -539,6 +554,95 @@ func checkDiffReplay(ctx context.Context, env *Env) (string, error) {
 	}
 	return fmt.Sprintf("%s: memory and disk replays byte-identical (%d bytes)",
 		p.Name, len(want)), nil
+}
+
+// sampledCheckSetup returns the trace length and schedule the sampled-cpi
+// check compares on. The estimator's confidence bound scales with
+// 1/sqrt(windows), so the check needs ~30 measurement windows to hold a 5%
+// tolerance — the harness's quick-mode trace (50k) yields only a handful on
+// any valid schedule. The check therefore runs its own, longer trace.
+func sampledCheckSetup(envInsts int) (int, config.Sampling) {
+	insts := envInsts
+	if insts < 400_000 {
+		insts = 400_000
+	}
+	interval := insts / 30
+	measure := interval / 4
+	if measure < 1_000 {
+		measure = 1_000
+	}
+	return insts, config.Sampling{IntervalInsts: interval, WarmupInsts: 2_000, MeasureInsts: measure}
+}
+
+// fullAndSampledCPI runs profile p on cfg both ways and returns (full CPI,
+// sampled CPI).
+func fullAndSampledCPI(ctx context.Context, env *Env, cfg config.Config, p workload.Profile) (float64, float64, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	opt := env.opts()
+	opt.Insts, opt.Sample = sampledCheckSetup(env.Insts)
+	full, err := m.RunContext(ctx, p, core.RunOptions{Insts: opt.Insts, Seed: opt.Seed, Obs: opt.Obs})
+	if err != nil {
+		return 0, 0, err
+	}
+	samp, err := m.RunContext(ctx, p, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	if samp.Sampling == nil || samp.Sampling.Windows == 0 {
+		return 0, 0, fmt.Errorf("%s: sampled run reported no measurement windows", p.Name)
+	}
+	return 1 / full.IPC(), 1 / samp.IPC(), nil
+}
+
+// checkSampledCPI is the sampled-simulation differential: the fast-forward +
+// detailed-window estimator (internal/core/sample.go) is an independent
+// measurement path over the same model, so its CPI must agree with the full
+// run within sampledCPITol on every workload — and a design change that
+// moves the full model's CPI beyond the dead band must move the sampled
+// estimate in the same direction, mirroring the paper's requirement that
+// performance trends, not just absolute numbers, agree across models.
+func checkSampledCPI(ctx context.Context, env *Env) (string, error) {
+	var details []string
+	fullBase := make([]float64, len(env.Profiles))
+	sampBase := make([]float64, len(env.Profiles))
+	for i, p := range env.Profiles {
+		full, samp, err := fullAndSampledCPI(ctx, env, env.Base, p)
+		if err != nil {
+			return "", err
+		}
+		fullBase[i], sampBase[i] = full, samp
+		relErr := (samp - full) / full
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > sampledCPITol {
+			return "", violationf("%s: sampled CPI %.4f vs full %.4f: %.1f%% error exceeds %.0f%%",
+				p.Name, samp, full, 100*relErr, 100*sampledCPITol)
+		}
+		details = append(details, fmt.Sprintf("%s: %.4f~%.4f", p.Name, samp, full))
+	}
+	// Trend agreement on the first profile: shrinking the L1s must slow the
+	// sampled estimate whenever it slows the full model beyond the dead band.
+	p := env.Profiles[0]
+	fullVar, sampVar, err := fullAndSampledCPI(ctx, env, env.Base.WithSmallL1(), p)
+	if err != nil {
+		return "", err
+	}
+	fullDelta := fullVar - fullBase[0]
+	sampDelta := sampVar - sampBase[0]
+	switch {
+	case fullDelta/fullBase[0] < trendDeadBand && fullDelta/fullBase[0] > -trendDeadBand:
+		details = append(details, fmt.Sprintf("trend: flat (full delta %+.4f inside dead band)", fullDelta))
+	case fullDelta*sampDelta <= 0:
+		return "", violationf("%s: L1 shrink moves full CPI by %+.4f but sampled CPI by %+.4f: trend sign disagrees",
+			p.Name, fullDelta, sampDelta)
+	default:
+		details = append(details, fmt.Sprintf("trend: %+.4f~%+.4f", sampDelta, fullDelta))
+	}
+	return strings.Join(details, "; "), nil
 }
 
 func checkDiffReferenceTrend(ctx context.Context, env *Env) (string, error) {

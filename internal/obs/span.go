@@ -27,6 +27,10 @@ const (
 	PhaseSim    = "sim"
 	PhaseReport = "report"
 	PhaseCache  = "cache"
+	// PhaseFastForward is the functional fast-forward portion of a sampled
+	// run; PhaseSim then covers only the detailed windows, so a sampled
+	// run's profile shows the fast-forward/detailed wall-time split.
+	PhaseFastForward = "fastforward"
 )
 
 // A Span measures one unit of work (typically one simulation run): total

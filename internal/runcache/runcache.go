@@ -45,14 +45,19 @@ type Key struct {
 	Seed        int64  `json:"seed"`
 	Insts       int    `json:"insts"`
 	Version     string `json:"version"`
+	// Sampling is the canonical-JSON sampled-simulation schedule, or the
+	// empty string for a full run. Sampled Reports are estimates, so they
+	// must never be served for full-run requests (or vice versa); putting
+	// the schedule in the key keeps the two populations disjoint.
+	Sampling string `json:"sampling,omitempty"`
 }
 
 // ID returns the key's content address: a hex SHA-256 over an unambiguous
 // (length-prefix-free, NUL-separated) serialization of the fields. It is
 // stable across processes and hosts.
 func (k Key) ID() string {
-	sum := sha256.Sum256(fmt.Appendf(nil, "%s\x00%s\x00%s\x00%d\x00%d\x00%s",
-		k.ConfigHash, k.Workload, k.ProfileHash, k.Seed, k.Insts, k.Version))
+	sum := sha256.Sum256(fmt.Appendf(nil, "%s\x00%s\x00%s\x00%d\x00%d\x00%s\x00%s",
+		k.ConfigHash, k.Workload, k.ProfileHash, k.Seed, k.Insts, k.Version, k.Sampling))
 	return hex.EncodeToString(sum[:])
 }
 

@@ -230,12 +230,18 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // partial overlay on the server's base configuration: fields present
 // override, absent fields keep their base value, unknown fields are a 400.
 type RunRequest struct {
-	Workload string          `json:"workload"`
-	Insts    int             `json:"insts,omitempty"`
-	Seed     int64           `json:"seed,omitempty"`
-	Warmup   uint64          `json:"warmup,omitempty"`
-	CPUs     int             `json:"cpus,omitempty"`
-	Config   json.RawMessage `json:"config,omitempty"`
+	Workload string `json:"workload"`
+	Insts    int    `json:"insts,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Warmup   uint64 `json:"warmup,omitempty"`
+	CPUs     int    `json:"cpus,omitempty"`
+	// Sampling opts the run into sampled simulation (fast-forward +
+	// detailed measurement windows). Omitted or null means a full run.
+	// Sampled results are estimates and hash to their own cache keys, so
+	// they never serve (or get served by) full-run requests; the response's
+	// stats carry a "sampling" block identifying the mode.
+	Sampling *config.Sampling `json:"sampling,omitempty"`
+	Config   json.RawMessage  `json:"config,omitempty"`
 }
 
 // RunResponse is the POST /v1/run reply. Stats is the same system.Summary
@@ -295,6 +301,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if opt.Insts == 0 {
 		opt.Insts = s.defaultInsts
+	}
+	if req.Sampling != nil {
+		if err := req.Sampling.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "bad sampling: %v", err)
+			return
+		}
+		opt.Sample = *req.Sampling
 	}
 	m, err := core.NewModel(cfg)
 	if err != nil {

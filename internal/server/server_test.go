@@ -170,6 +170,48 @@ func TestRunOverlayRejection(t *testing.T) {
 	}
 }
 
+// TestRunEndpointSampled drives a sampled run through the HTTP surface: the
+// response must identify the estimate via the stats' sampling block, hash to
+// a different cache key than the identical full run, and reject invalid
+// schedules with 400.
+func TestRunEndpointSampled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, DefaultInsts: 20_000})
+	full := `{"workload":"specint95","insts":60000,"seed":3}`
+	sampled := `{"workload":"specint95","insts":60000,"seed":3,` +
+		`"sampling":{"interval_insts":10000,"warmup_insts":1000,"measure_insts":2000,"offset_insts":0}}`
+
+	respF, bF := postRun(t, ts.URL, full)
+	respS, bS := postRun(t, ts.URL, sampled)
+	if respF.StatusCode != http.StatusOK || respS.StatusCode != http.StatusOK {
+		t.Fatalf("status: full %d (%s), sampled %d (%s)", respF.StatusCode, bF, respS.StatusCode, bS)
+	}
+	var rF, rS RunResponse
+	if err := json.Unmarshal(bF, &rF); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bS, &rS); err != nil {
+		t.Fatal(err)
+	}
+	if rF.Key == rS.Key {
+		t.Fatal("sampled and full runs share a cache key")
+	}
+	if rF.Stats.Sampling != nil {
+		t.Error("full run reports a sampling block")
+	}
+	if rS.Stats.Sampling == nil || rS.Stats.Sampling.Windows == 0 {
+		t.Fatalf("sampled run's stats carry no sampling block: %s", bS)
+	}
+	if rS.Cache != "miss" {
+		t.Errorf("sampled run served from the full run's entry: cache=%q", rS.Cache)
+	}
+
+	resp, b := postRun(t, ts.URL,
+		`{"workload":"specint95","sampling":{"interval_insts":100,"warmup_insts":90,"measure_insts":50}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid schedule: status %d (%s), want 400", resp.StatusCode, b)
+	}
+}
+
 // TestQueueFullReturns429 pins overload shedding: with one worker and one
 // queue slot, a third distinct request is rejected with 429 before its
 // simulation starts.

@@ -31,6 +31,11 @@ type Summary struct {
 	Invalidations  uint64 `json:"invalidations"`
 	Writebacks     uint64 `json:"writebacks"`
 
+	// Sampling carries the sampled-simulation schedule and error bound when
+	// the run used sampled mode; nil (omitted) for full runs, so consumers
+	// can always tell an estimate from an exact measurement.
+	Sampling *SamplingInfo `json:"sampling,omitempty"`
+
 	PerCPU []CPUSummary `json:"per_cpu,omitempty"`
 }
 
@@ -85,6 +90,10 @@ func (r *Report) Summary() Summary {
 	}
 	if s.IPC > 0 {
 		s.CPI = 1 / s.IPC
+	}
+	if r.Sampling != nil {
+		si := *r.Sampling
+		s.Sampling = &si
 	}
 	for i := range r.CPUs {
 		c := &r.CPUs[i]

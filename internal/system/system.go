@@ -142,7 +142,11 @@ type Report struct {
 	Name string
 	// Workload labels the trace.
 	Workload string
-	// Cycles is the global cycle count; Committed sums all CPUs.
+	// Cycles is the global cycle count; Committed sums all CPUs. In a
+	// sampled run both cover only the detailed measurement windows (the
+	// per-CPU counter blocks are measurement-window sums, so every derived
+	// rate and the IPC ratio estimator stay correct); Sampling carries the
+	// extrapolation to the whole run.
 	Cycles    uint64
 	Committed uint64
 	// CPUs holds the per-processor reports.
@@ -153,6 +157,39 @@ type Report struct {
 	BusWaitCycles, DRAMWaitCycles uint64
 	// HitCap reports the run ended at the cycle cap (likely deadlock).
 	HitCap bool
+	// Sampling is non-nil iff the run used sampled simulation; it records
+	// the schedule, the fast-forward/detailed split and the error model.
+	Sampling *SamplingInfo `json:",omitempty"`
+}
+
+// SamplingInfo describes how a sampled run produced its Report: the window
+// schedule, how much work ran in each mode, and the per-window CPI spread
+// that bounds the estimate's error.
+type SamplingInfo struct {
+	// Interval, Warmup, Measure and Offset echo the sampling schedule
+	// (per-CPU instruction counts).
+	Interval, Warmup, Measure, Offset int
+	// Windows counts completed measurement windows.
+	Windows int
+	// FastForwarded counts instructions executed functionally (all CPUs).
+	FastForwarded uint64
+	// DetailedInsts counts instructions committed on the detailed model,
+	// warm-up windows included (all CPUs).
+	DetailedInsts uint64
+	// MeasuredInsts counts instructions committed inside measurement
+	// windows (all CPUs) — the denominator of the CPI estimator.
+	MeasuredInsts uint64
+	// DetailedCycles is the global cycle count actually simulated in
+	// detail (warm-up + measurement).
+	DetailedCycles uint64
+	// CPIMean and CPIStd summarize the per-window CPI distribution;
+	// CPIHalf95 is the 95% confidence half-width (1.96·std/√Windows).
+	// The headline sampled CPI is the ratio estimator over all windows
+	// (Report.IPC), not CPIMean; CPIMean exists to price the spread.
+	CPIMean, CPIStd, CPIHalf95 float64
+	// EstimatedCycles extrapolates whole-run per-CPU cycles: measured CPI
+	// applied to every instruction the run advanced through.
+	EstimatedCycles uint64
 }
 
 // MeasuredCycles returns the mean post-warmup cycle count across CPUs —

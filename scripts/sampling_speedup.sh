@@ -1,0 +1,75 @@
+#!/bin/sh
+# sampling_speedup.sh -- measure the sampled-simulation speedup on a
+# long-trace multiprocessor workload and record it as a JSON artifact.
+#
+# Runs the same workload twice through cmd/sparc64sim -- once full, once
+# with a sampled schedule -- and writes scripts/sampling_speedup.json with
+# wall times, CPIs, the speedup factor and the CPI error. The checked-in
+# artifact documents the acceptance bar for sampled mode: >= 10x faster
+# than the full run with |CPI error| < 5%.
+#
+# The multiprocessor workload is the demonstration target on purpose: with
+# coherence and bus contention the detailed model costs ~5x more per
+# instruction than uniprocessor runs, while functional fast-forward stays
+# at trace-generation cost, so sampling pays off most exactly where long
+# simulations hurt most (see DESIGN.md "Sampled simulation").
+#
+# Usage:
+#   scripts/sampling_speedup.sh           measure and rewrite the artifact
+#
+# Environment overrides: SPEEDUP_WORKLOAD, SPEEDUP_INSTS, SPEEDUP_SCHED.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORKLOAD="${SPEEDUP_WORKLOAD:-tpcc16p}"
+CPUS="${SPEEDUP_CPUS:-4}"
+INSTS="${SPEEDUP_INSTS:-2000000}"
+SCHED="${SPEEDUP_SCHED:-interval=200000,warmup=2000,measure=3000}"
+OUT="scripts/sampling_speedup.json"
+
+bin="$(mktemp -d)/sparc64sim"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/sparc64sim
+
+# run <sample-spec> <report-file>; prints "<cpi> <millis>".
+run() {
+  start=$(date +%s%N)
+  "$bin" -workload "$WORKLOAD" -cpus "$CPUS" -insts "$INSTS" -sample "$1" -json >"$2"
+  end=$(date +%s%N)
+  cpi=$(sed -n 's/^  "cpi": \([0-9.e+-]*\),*$/\1/p' "$2" | head -1)
+  echo "$cpi $(((end - start) / 1000000))"
+}
+
+echo "sampling_speedup: full run ($WORKLOAD, $INSTS insts/CPU)..." >&2
+set -- $(run off /tmp/speedup_full.json)
+full_cpi=$1 full_ms=$2
+echo "sampling_speedup: sampled run ($SCHED)..." >&2
+set -- $(run "$SCHED" /tmp/speedup_sampled.json)
+samp_cpi=$1 samp_ms=$2
+windows=$(sed -n 's/^ *"Windows": \([0-9]*\),*$/\1/p' /tmp/speedup_sampled.json | head -1)
+
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+awk -v wl="$WORKLOAD" -v cpus="$CPUS" -v insts="$INSTS" -v sched="$SCHED" -v sha="$sha" \
+  -v fc="$full_cpi" -v fm="$full_ms" -v sc="$samp_cpi" -v sm="$samp_ms" \
+  -v win="$windows" 'BEGIN {
+    speedup = fm / sm
+    err = 100 * (sc - fc) / fc
+    printf "{\n"
+    printf "  \"commit\": \"%s\",\n", sha
+    printf "  \"workload\": \"%s\",\n", wl
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"insts_per_cpu\": %d,\n", insts
+    printf "  \"schedule\": \"%s\",\n", sched
+    printf "  \"full_seconds\": %.2f,\n", fm / 1000
+    printf "  \"full_cpi\": %.4f,\n", fc
+    printf "  \"sampled_seconds\": %.2f,\n", sm / 1000
+    printf "  \"sampled_cpi\": %.4f,\n", sc
+    printf "  \"windows\": %d,\n", win
+    printf "  \"speedup\": %.1f,\n", speedup
+    printf "  \"cpi_error_pct\": %.2f,\n", err
+    printf "  \"pass\": %s\n", (speedup >= 10 && err < 5 && err > -5) ? "true" : "false"
+    printf "}\n"
+    exit !(speedup >= 10 && err < 5 && err > -5)
+  }' >"$OUT" || { echo "sampling_speedup: FAIL (see $OUT)" >&2; cat "$OUT" >&2; exit 1; }
+cat "$OUT"
+echo "sampling_speedup: wrote $OUT" >&2
