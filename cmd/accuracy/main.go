@@ -53,6 +53,7 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
 		profile      = flag.String("profile", "", "write a JSON timing+counter profile of every run to this file")
 		sample       = flag.String("sample", "", "sampled simulation for the ladder and trend runs: off|auto|interval=N,warmup=N,measure=N[,offset=N]")
+		batch        = flag.Int("batch", 0, "lockstep-batch up to N same-trace ladder configurations per decode (0/1 = serial decode per run)")
 	)
 	flag.Parse()
 	prof, ok := workload.ByName(*workloadName)
@@ -66,7 +67,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
+	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers, Batch: *batch}
 	if !*parallel {
 		opt.Workers = 1
 	}

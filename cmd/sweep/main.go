@@ -54,6 +54,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
 		profile  = flag.String("profile", "", "write a JSON timing+counter profile of every run to this file")
 		sample   = flag.String("sample", "", "sampled simulation for every study: off|auto|interval=N,warmup=N,measure=N[,offset=N]")
+		batch    = flag.Int("batch", 0, "lockstep-batch up to N same-trace configurations per decode (0/1 = serial decode per run)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		defer cancel()
 	}
 
-	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers}
+	opt := core.RunOptions{Insts: *insts, Seed: *seed, Workers: *workers, Batch: *batch}
 	if !*parallel {
 		opt.Workers = 1
 	}

@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSamplingValidate(t *testing.T) {
 	cases := []struct {
@@ -60,6 +63,34 @@ func TestParseSampling(t *testing.T) {
 		if _, err := ParseSampling(bad, 0); err == nil {
 			t.Errorf("ParseSampling(%q) accepted", bad)
 		}
+	}
+}
+
+// TestSamplingValidateRejectsOverlap (regression): a schedule whose
+// warm-up + measurement exceeds the interval has a negative fast-forward
+// gap — the sampled driver would never converge on its schedule. The
+// rejection must happen at Validate (so every entry point — flag parsing,
+// HTTP overlays, direct RunOptions — fails before simulation) and the
+// message must carry the offending arithmetic.
+func TestSamplingValidateRejectsOverlap(t *testing.T) {
+	s := Sampling{IntervalInsts: 10_000, WarmupInsts: 6_000, MeasureInsts: 5_000}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted warmup+measure > interval")
+	}
+	for _, want := range []string{"11000", "10000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not carry %s", err, want)
+		}
+	}
+	// The boundary case — windows exactly filling the interval — is a legal
+	// zero-length fast-forward schedule, not an overlap.
+	ok := Sampling{IntervalInsts: 11_000, WarmupInsts: 6_000, MeasureInsts: 5_000}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("exact-fit schedule rejected: %v", err)
+	}
+	if _, err := ParseSampling("interval=10000,warmup=6000,measure=5000", 0); err == nil {
+		t.Error("ParseSampling accepted overlapping schedule")
 	}
 }
 

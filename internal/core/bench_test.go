@@ -8,6 +8,7 @@ package core
 // from these numbers plus the MP validation run in DESIGN.md.
 
 import (
+	"context"
 	"testing"
 
 	"sparc64v/internal/config"
@@ -47,3 +48,49 @@ func BenchmarkFullRun(b *testing.B) {
 func BenchmarkSampledRun(b *testing.B) {
 	benchRun(b, RunOptions{Insts: 120_000, Sample: benchSampleSchedule()})
 }
+
+// benchSweep runs the stock 8-configuration neighborhood (the batch tests'
+// batchNeighborhood) against one sampled trace, either as eight serial runs
+// — each re-generating the trace — or as one lockstep batch sharing a
+// single decoded stream. Sampled mode is where batching pays: the detailed
+// windows are a small slice of each run, so the per-member cost is
+// dominated by exactly the frontend work the batch amortizes. The
+// Serial/Batched pair in the benchdiff baseline records the speedup; the
+// gate fails if a regression erodes it back toward serial cost.
+func benchSweep(b *testing.B, batch bool) {
+	b.Helper()
+	b.ReportAllocs()
+	cfgs := batchNeighborhood()
+	p := workload.SPECint95()
+	opt := RunOptions{Insts: 400_000, Sample: benchSampleSchedule()}
+	total := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			reps, errs := RunBatch(context.Background(), cfgs, p, opt)
+			for j := range reps {
+				if errs[j] != nil {
+					b.Fatal(errs[j])
+				}
+				total += int64(reps[j].Committed)
+			}
+			continue
+		}
+		for _, cfg := range cfgs {
+			m, err := NewModel(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := m.Run(p, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += int64(r.Committed)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+func BenchmarkSerialSweep(b *testing.B)  { benchSweep(b, false) }
+func BenchmarkBatchedSweep(b *testing.B) { benchSweep(b, true) }

@@ -108,6 +108,13 @@ type RunOptions struct {
 	// measure the same post-warm-up population) and the per-window detailed
 	// warm-up replaces the classic measurement reset.
 	Sample config.Sampling
+	// Batch, when > 1, lets batch-aware harnesses (internal/expt, cmd/sweep,
+	// cmd/accuracy) group up to Batch runs that share a workload trace
+	// (same BatchKey) and execute each group through RunBatch, decoding the
+	// trace once for the whole group. Like Workers it never changes
+	// results — batched Reports are byte-identical to serial ones — only
+	// how the work is scheduled. 0 or 1 disables batching.
+	Batch int
 }
 
 func (o *RunOptions) defaults() {

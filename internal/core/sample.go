@@ -2,7 +2,7 @@ package core
 
 // Sampled simulation (SMARTS-style systematic sampling).
 //
-// runSampled alternates three modes over the trace:
+// A sampled run alternates three modes over the trace:
 //
 //	fast-forward      functional execution (cpu.FastForward): caches, TLBs
 //	                  and the branch predictor stay warm; no cycles pass.
@@ -18,9 +18,13 @@ package core
 // is the ratio estimator Σcycles/Σcommitted over all windows; the
 // per-window CPI spread yields the reported confidence bound.
 //
-// The driver is strictly serial per run (windows depend on each other's
-// machine state), so sampled Reports are byte-identical at any harness
-// worker count, exactly like full runs.
+// The engine is a stepwise state machine (sampledRun): each step performs
+// one bounded action — a fast-forward chunk on one CPU, or one detailed
+// window. runSampled drives one machine's steps back to back; the lockstep
+// batch driver (batch.go) interleaves steps of N machines against a shared
+// trace ring. Both drivers execute the identical action sequence per
+// machine, so sampled Reports are byte-identical serial vs batched and at
+// any harness worker count, exactly like full runs.
 
 import (
 	"fmt"
@@ -31,6 +35,7 @@ import (
 	"sparc64v/internal/bpred"
 	"sparc64v/internal/cache"
 	"sparc64v/internal/coherence"
+	"sparc64v/internal/config"
 	"sparc64v/internal/cpu"
 	"sparc64v/internal/obs"
 	"sparc64v/internal/stats"
@@ -169,120 +174,92 @@ func (s sysSnap) cpi() float64 {
 // poll.
 const ffPollStride = 8192
 
-// runSampled is the sampled-simulation driver behind RunSourcesContext
-// (opt.Sample enabled). It returns a Report whose counter blocks cover the
-// measurement windows and whose Sampling field carries the schedule, mode
-// split and error model.
-func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
+// ffChunk bounds one step's fast-forward work (records on one CPU). The
+// chunk keeps a batched member's single step — and therefore its demand on
+// the shared trace ring — bounded; a serial run just takes the chunks back
+// to back.
+const ffChunk = 4096
+
+// sampledRun stages of the state machine. A run cycles
+// FF(warmup+offset) → [ warm window → measure window → FF(gap) ]* → done,
+// advancing CPU by CPU within each fast-forward region (the same order the
+// loop-based driver used, which matters under MP: functional stores
+// invalidate peer cache lines through the coherence controller, so the
+// inter-CPU execution order is part of the result).
+const (
+	stageFF = iota
+	stageWarm
+	stageMeasure
+	stageDone
+)
+
+// sampledRun is one machine's sampled-simulation state: the gated sources,
+// the functional executors, the accumulated measurement snapshots, and the
+// state-machine position. It is advanced by repeated step() calls and
+// closed out by finish().
+type sampledRun struct {
+	m     *Model
+	label string
+	opt   RunOptions
+	sc    config.Sampling
+	sp    *obs.Span
+	sys   *system.System
+	gates []*sampleGate
+	ffs   []*cpu.FastForward
+	ncpu  int
+
+	simErr error
+	capped bool
+
+	stage  int
+	ffCPU  int // CPU currently fast-forwarding
+	ffLeft int // records left for that CPU
+	ffN    int // records per CPU in the current fast-forward region
+	ffGap  int // records between a measure window and the next interval
+
+	pre            sysSnap // snapshot at the current measure window's start
+	preCyc         uint64
+	start          sysSnap
+	acc            sysSnap
+	windows        []float64
+	measuredCycles uint64
+}
+
+// newSampledRun validates the schedule and builds the machine over srcs.
+func newSampledRun(m *Model, label string, srcs []trace.Source, opt RunOptions) (*sampledRun, error) {
 	sc := opt.Sample
 	if err := sc.Validate(); err != nil {
-		return system.Report{}, err
+		return nil, err
 	}
-	sp := opt.Obs.StartSpan("run", label)
+	r := &sampledRun{m: m, label: label, opt: opt, sc: sc}
+	r.sp = opt.Obs.StartSpan("run", label)
 	cfg := m.cfg
 	// The per-window detailed warm-up replaces the classic warm-up reset;
 	// a mid-run resetMeasurement would corrupt snapshot deltas.
 	cfg.WarmupInsts = 0
-	endBuild := sp.Phase(obs.PhaseBuild)
-	gates := make([]*sampleGate, len(srcs))
+	endBuild := r.sp.Phase(obs.PhaseBuild)
+	r.gates = make([]*sampleGate, len(srcs))
 	gsrcs := make([]trace.Source, len(srcs))
 	for i, s := range srcs {
-		gates[i] = &sampleGate{src: s}
-		gsrcs[i] = gates[i]
+		r.gates[i] = &sampleGate{src: s}
+		gsrcs[i] = r.gates[i]
 	}
 	sys, err := system.New(cfg, gsrcs)
 	if err != nil {
 		endBuild()
-		return system.Report{}, err
+		return nil, err
 	}
-	ncpu := cfg.CPUs
-	ffs := make([]*cpu.FastForward, ncpu)
-	for i := 0; i < ncpu; i++ {
-		ffs[i] = cpu.NewFastForward(sys.CPU(i))
+	r.sys = sys
+	r.ncpu = cfg.CPUs
+	r.ffs = make([]*cpu.FastForward, r.ncpu)
+	for i := 0; i < r.ncpu; i++ {
+		r.ffs[i] = cpu.NewFastForward(sys.CPU(i))
 	}
 	endBuild()
 
-	var simErr error
-	var capped bool
-	done := ctx.Done()
-
-	// fastForward advances every live CPU n records functionally.
-	fastForward := func(n int) {
-		if n <= 0 || simErr != nil {
-			return
-		}
-		end := sp.Phase(obs.PhaseFastForward)
-		defer end()
-		var rec trace.Record
-		for i, g := range gates {
-			if g.dry {
-				continue
-			}
-			for k := 0; k < n; k++ {
-				if done != nil && k%ffPollStride == 0 {
-					select {
-					case <-done:
-						simErr = ctx.Err()
-						return
-					default:
-					}
-				}
-				if !g.src.Next(&rec) {
-					g.dry = true
-					break
-				}
-				ffs[i].Step(&rec)
-			}
-		}
-	}
-
-	allDry := func() bool {
-		for _, g := range gates {
-			if !g.dry {
-				return false
-			}
-		}
-		return true
-	}
-
-	// runWindow gives every live CPU a budget of n records and runs the
-	// detailed machine until it drains again. Returns false when the run
-	// must stop (cancellation or cycle cap).
-	runWindow := func(n int) bool {
-		if n <= 0 || simErr != nil || capped {
-			return simErr == nil && !capped
-		}
-		live := false
-		for i, g := range gates {
-			if g.dry {
-				continue
-			}
-			g.budget = n
-			sys.CPU(i).ResumeSource()
-			live = true
-		}
-		if !live {
-			return true
-		}
-		end := sp.Phase(obs.PhaseSim)
-		_, c, err := sys.RunContext(ctx, opt.MaxCycles)
-		end()
-		if err != nil {
-			simErr = err
-			return false
-		}
-		if c {
-			capped = true
-			return false
-		}
-		return true
-	}
-
-	ffGap := sc.IntervalInsts - sc.WarmupInsts - sc.MeasureInsts
-	start := snapshot(sys, ncpu)
-	acc := sysSnap{cpus: make([]cpuSnap, ncpu)}
-	var windows []float64
-	var measuredCycles uint64
+	r.ffGap = sc.IntervalInsts - sc.WarmupInsts - sc.MeasureInsts
+	r.start = snapshot(sys, r.ncpu)
+	r.acc = sysSnap{cpus: make([]cpuSnap, r.ncpu)}
 
 	// Fast-forward the run-level warm-up region plus the schedule's offset
 	// before the first interval. A full run excludes its first opt.Warmup
@@ -290,37 +267,209 @@ func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Sourc
 	// sampling the same population is what makes sampled and full reports
 	// comparable — without this skip the early windows measure cold caches
 	// the full run deliberately discards.
-	fastForward(int(opt.Warmup) + sc.OffsetInsts)
-	for simErr == nil && !capped && !allDry() {
-		runWindow(sc.WarmupInsts)
-		pre := snapshot(sys, ncpu)
-		preCyc := sys.Cycle()
-		runWindow(sc.MeasureInsts)
-		d := snapshot(sys, ncpu).sub(pre)
-		if d.committed() > 0 {
-			acc = acc.add(d)
-			measuredCycles += sys.Cycle() - preCyc
-			windows = append(windows, d.cpi())
+	r.setFF(int(opt.Warmup) + sc.OffsetInsts)
+	r.norm()
+	return r, nil
+}
+
+// setFF enters a fast-forward region of n records per CPU.
+func (r *sampledRun) setFF(n int) {
+	r.stage = stageFF
+	r.ffN = n
+	r.ffCPU = 0
+	r.ffLeft = n
+}
+
+// allDry reports whether every CPU's trace is exhausted.
+func (r *sampledRun) allDry() bool {
+	for _, g := range r.gates {
+		if !g.dry {
+			return false
 		}
-		fastForward(ffGap)
 	}
+	return true
+}
+
+// norm advances the state machine past zero-work transitions, so that
+// afterwards either stage == stageDone or the next step() performs real
+// work whose trace demand needRecords() describes. A cap does not stop a
+// pending fast-forward region (only windows respect it), matching the
+// classic driver's control flow; a cancellation stops everything.
+func (r *sampledRun) norm() {
+	for {
+		if r.stage == stageDone {
+			return
+		}
+		if r.simErr != nil {
+			r.stage = stageDone
+			return
+		}
+		if r.stage != stageFF {
+			return
+		}
+		if r.ffLeft > 0 && !r.gates[r.ffCPU].dry {
+			return
+		}
+		if r.ffLeft > 0 { // dry CPU: nothing to fast-forward
+			r.ffLeft = 0
+		}
+		if r.ffCPU+1 < r.ncpu {
+			r.ffCPU++
+			r.ffLeft = r.ffN
+			continue
+		}
+		// Fast-forward region complete: the inter-interval loop condition.
+		if r.capped || r.allDry() {
+			r.stage = stageDone
+			return
+		}
+		r.stage = stageWarm
+		return
+	}
+}
+
+// needRecords returns which CPU's source the next step reads and the most
+// records it consumes: (cpu, n) for a fast-forward chunk on one CPU, or
+// (-1, n) for a detailed window drawing up to n records from every CPU.
+// The batch driver checks the shared ring can serve that demand before
+// stepping; a serial run never asks.
+func (r *sampledRun) needRecords() (int, int) {
+	switch r.stage {
+	case stageFF:
+		n := r.ffLeft
+		if n > ffChunk {
+			n = ffChunk
+		}
+		return r.ffCPU, n
+	case stageWarm:
+		return -1, r.sc.WarmupInsts
+	case stageMeasure:
+		return -1, r.sc.MeasureInsts
+	}
+	return -1, 0
+}
+
+// step performs the run's next bounded action: one fast-forward chunk on
+// one CPU, or one detailed window. Callers loop until stage == stageDone.
+func (r *sampledRun) step(ctx context.Context) {
+	switch r.stage {
+	case stageFF:
+		n := r.ffLeft
+		if n > ffChunk {
+			n = ffChunk
+		}
+		r.fastForwardOne(ctx, r.ffCPU, n)
+		r.ffLeft -= n
+	case stageWarm:
+		r.runWindow(ctx, r.sc.WarmupInsts)
+		r.pre = snapshot(r.sys, r.ncpu)
+		r.preCyc = r.sys.Cycle()
+		r.stage = stageMeasure
+	case stageMeasure:
+		r.runWindow(ctx, r.sc.MeasureInsts)
+		d := snapshot(r.sys, r.ncpu).sub(r.pre)
+		if d.committed() > 0 {
+			r.acc = r.acc.add(d)
+			r.measuredCycles += r.sys.Cycle() - r.preCyc
+			r.windows = append(r.windows, d.cpi())
+		}
+		r.setFF(r.ffGap)
+	}
+	r.norm()
+}
+
+// cancel aborts the run with err (the batch driver's external cancellation
+// path; a serial run surfaces cancellation through step's ctx instead).
+func (r *sampledRun) cancel(err error) {
+	if r.simErr == nil {
+		r.simErr = err
+	}
+	r.stage = stageDone
+}
+
+// fastForwardOne advances CPU i by up to n records functionally.
+func (r *sampledRun) fastForwardOne(ctx context.Context, i, n int) {
+	if n <= 0 || r.simErr != nil {
+		return
+	}
+	g := r.gates[i]
+	if g.dry {
+		return
+	}
+	end := r.sp.Phase(obs.PhaseFastForward)
+	defer end()
+	done := ctx.Done()
+	var rec trace.Record
+	for k := 0; k < n; k++ {
+		if done != nil && k%ffPollStride == 0 {
+			select {
+			case <-done:
+				r.simErr = ctx.Err()
+				return
+			default:
+			}
+		}
+		if !g.src.Next(&rec) {
+			g.dry = true
+			return
+		}
+		r.ffs[i].Step(&rec)
+	}
+}
+
+// runWindow gives every live CPU a budget of n records and runs the
+// detailed machine until it drains again.
+func (r *sampledRun) runWindow(ctx context.Context, n int) {
+	if n <= 0 || r.simErr != nil || r.capped {
+		return
+	}
+	live := false
+	for i, g := range r.gates {
+		if g.dry {
+			continue
+		}
+		g.budget = n
+		r.sys.CPU(i).ResumeSource()
+		live = true
+	}
+	if !live {
+		return
+	}
+	end := r.sp.Phase(obs.PhaseSim)
+	_, c, err := r.sys.RunContext(ctx, r.opt.MaxCycles)
+	end()
+	if err != nil {
+		r.simErr = err
+		return
+	}
+	if c {
+		r.capped = true
+	}
+}
+
+// finish assembles the Report: the accumulated window deltas become the
+// counter blocks, and Sampling carries the schedule, mode split and error
+// model. Call exactly once, after stage reaches stageDone.
+func (r *sampledRun) finish() (system.Report, error) {
+	sc, opt := r.sc, r.opt
+	ncpu := r.ncpu
 
 	// Degenerate schedules (trace shorter than one warm-up window, window
 	// longer than the trace): no measurement window completed any commits,
 	// so fall back to everything the detailed model did simulate.
-	if len(windows) == 0 {
-		acc = snapshot(sys, ncpu).sub(start)
-		measuredCycles = sys.Cycle()
-		if acc.committed() > 0 {
-			windows = append(windows, acc.cpi())
+	if len(r.windows) == 0 {
+		r.acc = snapshot(r.sys, ncpu).sub(r.start)
+		r.measuredCycles = r.sys.Cycle()
+		if r.acc.committed() > 0 {
+			r.windows = append(r.windows, r.acc.cpi())
 		}
 	}
 
-	endReport := sp.Phase(obs.PhaseReport)
-	rep := system.Report{Name: cfg.Name, Workload: label, Cycles: measuredCycles, HitCap: capped}
+	endReport := r.sp.Phase(obs.PhaseReport)
+	rep := system.Report{Name: r.m.cfg.Name, Workload: r.label, Cycles: r.measuredCycles, HitCap: r.capped}
 	var measCycles uint64
 	for i := 0; i < ncpu; i++ {
-		cs := &acc.cpus[i]
+		cs := &r.acc.cpus[i]
 		rep.CPUs = append(rep.CPUs, system.CPUReport{
 			Core:         cs.core,
 			Branch:       cs.branch,
@@ -333,31 +482,31 @@ func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Sourc
 		rep.Committed += cs.core.Committed
 		measCycles += cs.core.Cycles
 	}
-	rep.Coherence = acc.coh
-	rep.BusWaitCycles = acc.busWait
-	rep.DRAMWaitCycles = acc.dramWait
+	rep.Coherence = r.acc.coh
+	rep.BusWaitCycles = r.acc.busWait
+	rep.DRAMWaitCycles = r.acc.dramWait
 
 	var ffInsts, detInsts uint64
 	for i := 0; i < ncpu; i++ {
-		ffInsts += ffs[i].Insts
-		detInsts += sys.CPU(i).Stats.Committed
+		ffInsts += r.ffs[i].Insts
+		detInsts += r.sys.CPU(i).Stats.Committed
 	}
 	info := &system.SamplingInfo{
 		Interval:       sc.IntervalInsts,
 		Warmup:         sc.WarmupInsts,
 		Measure:        sc.MeasureInsts,
 		Offset:         sc.OffsetInsts,
-		Windows:        len(windows),
+		Windows:        len(r.windows),
 		FastForwarded:  ffInsts,
 		DetailedInsts:  detInsts,
 		MeasuredInsts:  rep.Committed,
-		DetailedCycles: sys.Cycle(),
+		DetailedCycles: r.sys.Cycle(),
 	}
-	if n := len(windows); n > 0 {
-		info.CPIMean = stats.Mean(windows)
+	if n := len(r.windows); n > 0 {
+		info.CPIMean = stats.Mean(r.windows)
 		if n > 1 {
 			var ss float64
-			for _, x := range windows {
+			for _, x := range r.windows {
 				d := x - info.CPIMean
 				ss += d * d
 			}
@@ -365,6 +514,7 @@ func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Sourc
 			info.CPIHalf95 = 1.96 * info.CPIStd / math.Sqrt(float64(n))
 		}
 	}
+	sanitizeSampling(info)
 	if rep.Committed > 0 {
 		cpi := float64(measCycles) / float64(rep.Committed)
 		perCPU := float64(ffInsts+detInsts) / float64(ncpu)
@@ -373,19 +523,52 @@ func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Sourc
 	rep.Sampling = info
 
 	meterInstrs.Add(detInsts)
-	meterCycles.Add(sys.Cycle())
+	meterCycles.Add(r.sys.Cycle())
 	meterRuns.Add(1)
 	endReport()
-	spanReport(sp, rep)
-	sp.Add("ff_insts", int64(ffInsts))
-	sp.Add("sample_windows", int64(len(windows)))
-	sp.Finish()
+	spanReport(r.sp, rep)
+	r.sp.Add("ff_insts", int64(ffInsts))
+	r.sp.Add("sample_windows", int64(len(r.windows)))
+	r.sp.Finish()
 
-	if simErr != nil {
-		return rep, fmt.Errorf("core: %s/%s cancelled: %w", m.cfg.Name, label, simErr)
+	if r.simErr != nil {
+		return rep, fmt.Errorf("core: %s/%s cancelled: %w", r.m.cfg.Name, r.label, r.simErr)
 	}
-	if capped {
-		return rep, fmt.Errorf("core: %s/%s hit the %d-cycle cap", m.cfg.Name, label, opt.MaxCycles)
+	if r.capped {
+		return rep, fmt.Errorf("core: %s/%s hit the %d-cycle cap", r.m.cfg.Name, r.label, opt.MaxCycles)
 	}
 	return rep, nil
+}
+
+// sanitizeSampling clamps the error-model fields to finite values.
+// CPIStd/CPIHalf95 are left zero when Windows <= 1 (a single window has no
+// variance estimate; n-1 == 0 would make the naive estimator NaN, and a
+// NaN here breaks encoding/json marshaling of the whole Report, poisoning
+// the runcache disk tier). Windows == 1 in the marshaled report is the
+// explicit "no spread estimate" marker consumers should key on.
+func sanitizeSampling(info *system.SamplingInfo) {
+	if math.IsNaN(info.CPIMean) || math.IsInf(info.CPIMean, 0) {
+		info.CPIMean = 0
+	}
+	if info.Windows <= 1 || math.IsNaN(info.CPIStd) || math.IsInf(info.CPIStd, 0) {
+		info.CPIStd = 0
+	}
+	if info.Windows <= 1 || math.IsNaN(info.CPIHalf95) || math.IsInf(info.CPIHalf95, 0) {
+		info.CPIHalf95 = 0
+	}
+}
+
+// runSampled is the sampled-simulation driver behind RunSourcesContext
+// (opt.Sample enabled). It returns a Report whose counter blocks cover the
+// measurement windows and whose Sampling field carries the schedule, mode
+// split and error model.
+func (m *Model) runSampled(ctx context.Context, label string, srcs []trace.Source, opt RunOptions) (system.Report, error) {
+	r, err := newSampledRun(m, label, srcs, opt)
+	if err != nil {
+		return system.Report{}, err
+	}
+	for r.stage != stageDone {
+		r.step(ctx)
+	}
+	return r.finish()
 }

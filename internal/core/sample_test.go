@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -300,5 +301,102 @@ func TestSampledCacheKeySeparation(t *testing.T) {
 	}
 	if rFull2.Cycles != rFull.Cycles || rSamp2.Cycles != rSamp.Cycles {
 		t.Error("cache round trip changed reports")
+	}
+}
+
+// TestSampledSingleWindowMarshals (regression): a schedule that completes
+// exactly one measurement window has no variance estimate — the naive
+// estimator divides by n-1 == 0, which would set CPIStd/CPIHalf95 to NaN,
+// and encoding/json rejects NaN, so the whole Report would fail to marshal
+// and poison the runcache disk tier. The pinned contract: Windows == 1 is
+// the explicit "no spread estimate" marker, with CPIStd and CPIHalf95
+// clamped to zero and the report round-tripping through JSON and the
+// on-disk cache.
+func TestSampledSingleWindowMarshals(t *testing.T) {
+	m, _ := NewModel(config.Base())
+	p := workload.SPECint95()
+	opt := RunOptions{
+		Insts:  30_000,
+		Sample: config.Sampling{IntervalInsts: 50_000, WarmupInsts: 2_000, MeasureInsts: 4_000},
+	}
+	r, err := m.Run(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := r.Sampling
+	if si == nil || si.Windows != 1 {
+		t.Fatalf("want exactly one window, got %+v", si)
+	}
+	if si.CPIStd != 0 || si.CPIHalf95 != 0 {
+		t.Errorf("single window must clamp spread estimates to 0, got std=%v half95=%v",
+			si.CPIStd, si.CPIHalf95)
+	}
+	if si.CPIMean <= 0 {
+		t.Errorf("CPIMean = %v, want > 0", si.CPIMean)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("single-window report does not marshal: %v", err)
+	}
+	if strings.Contains(string(b), "NaN") {
+		t.Error("marshaled report contains NaN")
+	}
+
+	// The same report must survive the cache's disk tier: store it, then
+	// read it back through a fresh cache rooted at the same directory.
+	dir := t.TempDir()
+	cache, err := runcache.New(runcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := m.runKey(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, r)
+	cold, err := runcache.New(runcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cold.Get(key)
+	if !ok {
+		t.Fatal("single-window report missing from disk cache")
+	}
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gb) != string(b) {
+		t.Error("disk-cache roundtrip changed the report")
+	}
+}
+
+// TestSanitizeSampling pins the clamp itself: non-finite inputs never
+// survive, and a single window zeroes the spread fields even when finite.
+func TestSanitizeSampling(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		in   system.SamplingInfo
+		want [3]float64 // CPIMean, CPIStd, CPIHalf95
+	}{
+		{"nan spread single window", system.SamplingInfo{Windows: 1, CPIMean: 1.5, CPIStd: nan, CPIHalf95: nan},
+			[3]float64{1.5, 0, 0}},
+		{"finite spread single window", system.SamplingInfo{Windows: 1, CPIMean: 1.5, CPIStd: 0.2, CPIHalf95: 0.1},
+			[3]float64{1.5, 0, 0}},
+		{"nan mean", system.SamplingInfo{Windows: 3, CPIMean: nan, CPIStd: 0.2, CPIHalf95: 0.1},
+			[3]float64{0, 0.2, 0.1}},
+		{"inf spread multi window", system.SamplingInfo{Windows: 3, CPIMean: 1.2, CPIStd: math.Inf(1), CPIHalf95: math.Inf(-1)},
+			[3]float64{1.2, 0, 0}},
+		{"finite multi window untouched", system.SamplingInfo{Windows: 3, CPIMean: 1.2, CPIStd: 0.2, CPIHalf95: 0.1},
+			[3]float64{1.2, 0.2, 0.1}},
+	}
+	for _, c := range cases {
+		info := c.in
+		sanitizeSampling(&info)
+		got := [3]float64{info.CPIMean, info.CPIStd, info.CPIHalf95}
+		if got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
 	}
 }

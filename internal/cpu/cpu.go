@@ -294,6 +294,12 @@ func New(cfg *config.Config, id int, chipMem *ChipMem, src trace.Source) *CPU {
 // Predictor returns the branch predictor (nil under perfect branch mode).
 func (c *CPU) Predictor() *bpred.Predictor { return c.pred }
 
+// SourceReadBound returns the most trace records a single Tick can consume
+// from the CPU's source (the fetch width — only fetch reads the source in
+// detailed mode). The lockstep batch driver (internal/core) multiplies it
+// by a cycle count to bound a machine's demand on a shared trace buffer.
+func (c *CPU) SourceReadBound() int { return c.fetchWidth }
+
 // entry returns the window entry for seq if still in flight.
 func (c *CPU) entry(seq uint64) *robEntry {
 	e := &c.window[seq&c.winMask]

@@ -89,12 +89,90 @@ type job struct {
 }
 
 // runJobs executes a study's simulations on the scheduler and returns the
-// reports in submission order.
+// reports in submission order. With opt.Batch > 1 the jobs are first grouped
+// by core.BatchKey — everything that pins the decoded trace stream — and
+// each group of up to opt.Batch members becomes one core.RunBatch lockstep
+// unit that streams the trace once. Results scatter back to submission
+// order and the returned error is still the lowest-submission-index job
+// error, so batching changes neither the reports' bytes nor the error a
+// caller observes (pinned by TestRunJobsBatchedMatchesSerial).
 func runJobs(ctx context.Context, jobs []job, opt core.RunOptions) ([]system.Report, error) {
+	if opt.Batch > 1 {
+		return runJobsBatched(ctx, jobs, opt)
+	}
 	return sched.MapCtx(ctx, len(jobs), sched.Options{Workers: opt.Workers},
 		func(ctx context.Context, i int) (system.Report, error) {
 			return run(ctx, jobs[i].cfg, jobs[i].p, jobs[i].opt)
 		})
+}
+
+// runJobsBatched is runJobs' batching path: group by BatchKey in submission
+// order, chunk each group to at most opt.Batch members, run chunks on the
+// scheduler (singleton chunks take the ordinary serial path), and scatter
+// the per-member results back to submission order.
+func runJobsBatched(ctx context.Context, jobs []job, opt core.RunOptions) ([]system.Report, error) {
+	groups := make(map[string][]int)
+	var order []string
+	for i, j := range jobs {
+		key, err := core.BatchKey(j.cfg, j.p, j.opt)
+		if err != nil {
+			// Unkeyable jobs (unhashable profile) run alone; the serial path
+			// surfaces the underlying error with its usual context.
+			key = fmt.Sprintf("\x00unkeyed\x00%d", i)
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	var chunks [][]int
+	for _, key := range order {
+		idx := groups[key]
+		for len(idx) > opt.Batch {
+			chunks = append(chunks, idx[:opt.Batch])
+			idx = idx[opt.Batch:]
+		}
+		chunks = append(chunks, idx)
+	}
+
+	out := make([]system.Report, len(jobs))
+	jobErrs := make([]error, len(jobs))
+	_, chunkErrs := sched.MapAllCtx(ctx, len(chunks), sched.Options{Workers: opt.Workers},
+		func(ctx context.Context, ci int) (struct{}, error) {
+			idx := chunks[ci]
+			if len(idx) == 1 {
+				i := idx[0]
+				out[i], jobErrs[i] = run(ctx, jobs[i].cfg, jobs[i].p, jobs[i].opt)
+				return struct{}{}, nil
+			}
+			cfgs := make([]config.Config, len(idx))
+			for n, i := range idx {
+				cfgs[n] = jobs[i].cfg
+			}
+			first := jobs[idx[0]]
+			reps, errs := core.RunBatch(ctx, cfgs, first.p, first.opt)
+			for n, i := range idx {
+				out[i], jobErrs[i] = reps[n], errs[n]
+			}
+			return struct{}{}, nil
+		})
+	for ci, err := range chunkErrs {
+		if err == nil {
+			continue
+		}
+		// A chunk skipped after cancellation never wrote its members.
+		for _, i := range chunks[ci] {
+			if jobErrs[i] == nil {
+				jobErrs[i] = err
+			}
+		}
+	}
+	for _, err := range jobErrs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // crossJobs builds the full (profile x config) product with one options

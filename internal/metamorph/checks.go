@@ -104,6 +104,11 @@ func Catalog() []Check {
 			Run:    checkDiffReplay,
 		},
 		{
+			Name: "diff-batch-replay", Kind: "differential",
+			Detail: "lockstep-batched run reports are byte-identical to serial runs",
+			Run:    checkDiffBatchReplay,
+		},
+		{
 			Name: "diff-reference-trend", Kind: "differential",
 			Detail: "design-change direction agrees with the in-order reference model",
 			Run:    checkDiffReferenceTrend,
@@ -554,6 +559,70 @@ func checkDiffReplay(ctx context.Context, env *Env) (string, error) {
 	}
 	return fmt.Sprintf("%s: memory and disk replays byte-identical (%d bytes)",
 		p.Name, len(want)), nil
+}
+
+// checkDiffBatchReplay is the lockstep-batching differential: core.RunBatch
+// advances several configurations against one shared decoded trace stream,
+// and every member's report must be byte-identical to the report its own
+// serial RunContext produces — in full mode and in sampled mode, where the
+// fast-forward/measure schedule also rides the shared rings. Any divergence
+// means per-member state leaked across the batch or the shared frontend
+// reordered the stream.
+func checkDiffBatchReplay(ctx context.Context, env *Env) (string, error) {
+	p := env.Profiles[0]
+	cfgs := []config.Config{
+		env.Base,
+		env.Base.WithIssueWidth(2),
+		env.Base.WithSmallBHT(),
+		env.Base.WithoutPrefetch(),
+	}
+	// The sampled schedule scales with the trace so the check is valid at
+	// both quick and full trace lengths: warmup+measure stays well under
+	// the interval, which Sampling.Validate requires.
+	interval := env.Insts / 4
+	modes := []struct {
+		name   string
+		sample config.Sampling
+	}{
+		{"full", config.Sampling{}},
+		{"sampled", config.Sampling{IntervalInsts: interval, WarmupInsts: interval / 8, MeasureInsts: interval / 4}},
+	}
+	var details []string
+	for _, mode := range modes {
+		opt := env.opts()
+		opt.Sample = mode.sample
+		batched, errs := core.RunBatch(ctx, cfgs, p, opt)
+		var bytesTotal int
+		for i, cfg := range cfgs {
+			if errs[i] != nil {
+				return "", errs[i]
+			}
+			m, err := core.NewModel(cfg)
+			if err != nil {
+				return "", err
+			}
+			serial, err := m.RunContext(ctx, p, opt)
+			if err != nil {
+				return "", err
+			}
+			want, err := json.Marshal(serial)
+			if err != nil {
+				return "", err
+			}
+			got, err := json.Marshal(batched[i])
+			if err != nil {
+				return "", err
+			}
+			if !bytes.Equal(got, want) {
+				return "", violationf("%s/%s member %d (%s): batched report differs from serial run",
+					p.Name, mode.name, i, cfg.Name)
+			}
+			bytesTotal += len(want)
+		}
+		details = append(details, fmt.Sprintf("%s: %d members byte-identical (%d bytes)",
+			mode.name, len(cfgs), bytesTotal))
+	}
+	return strings.Join(details, "; "), nil
 }
 
 // sampledCheckSetup returns the trace length and schedule the sampled-cpi

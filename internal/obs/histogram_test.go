@@ -121,6 +121,45 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileOverflowClamp (regression): when observations land
+// past the last finite boundary they fall in the implicit +Inf bucket,
+// which has no upper bound to interpolate toward. A naive estimator
+// returns the overflow bucket's *lower* bound for low quantiles and +Inf
+// for high ones; the pinned contract is that every quantile of an
+// overflow-heavy distribution clamps to the largest finite bound — always
+// finite, never below the last boundary.
+func TestHistogramQuantileOverflowClamp(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // all observations beyond the last boundary
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, must stay finite", q, got)
+		}
+		if got != 5 {
+			t.Errorf("Quantile(%v) = %v, want clamp to last finite bound 5", q, got)
+		}
+	}
+
+	// Mixed distribution: quantiles inside finite buckets interpolate as
+	// usual; only the quantiles that land in the overflow tail clamp.
+	m := NewHistogram([]float64{1, 2, 5})
+	for i := 0; i < 90; i++ {
+		m.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(99)
+	}
+	if got := m.Quantile(0.5); got > 1 {
+		t.Errorf("mixed Quantile(0.5) = %v, want inside first bucket", got)
+	}
+	if got := m.Quantile(0.99); got != 5 {
+		t.Errorf("mixed Quantile(0.99) = %v, want clamp to 5", got)
+	}
+}
+
 func TestHistogramMergeAssociative(t *testing.T) {
 	bounds := DefLatencyBuckets()
 	mk := func(vals ...float64) *Histogram {

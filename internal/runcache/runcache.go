@@ -234,6 +234,25 @@ func (c *Cache) Get(key Key) (system.Report, bool) {
 	return system.Report{}, false
 }
 
+// Put inserts a simulated result under key: the memory tier and, when
+// configured, the disk tier. It counts one miss, mirroring GetOrRun's
+// accounting — a Put is the completion of a request the cache could not
+// serve, so Hits+Misses still totals the requests a Get/Put caller made.
+// The lockstep batch driver (internal/core RunBatch) uses Get/Put around a
+// batched run, where GetOrRun's one-runner-per-key shape does not fit:
+// hits are peeled off the batch up front and every simulated member is
+// stored individually on completion. Failed or cancelled members are never
+// Put, preserving GetOrRun's never-cache-errors rule.
+func (c *Cache) Put(key Key, rep system.Report) {
+	id := key.ID()
+	c.storeDisk(id, key, rep)
+	c.mu.Lock()
+	c.insert(id, rep)
+	c.stats.Misses++
+	c.mu.Unlock()
+	evMiss.Inc()
+}
+
 // GetOrRun returns the cached report for key, or executes run exactly once
 // to produce it. Concurrent calls with the same key share one execution:
 // the first caller becomes the leader and runs with its own context; later

@@ -119,6 +119,15 @@ func TestRunEndpointValidation(t *testing.T) {
 		{"unknown config field", `{"workload":"specint95","config":{"NoSuchKnob":1}}`},
 		{"negative insts", `{"workload":"specint95","insts":-5}`},
 		{"garbage body", `{`},
+		// Sampling schedules are validated before the run is admitted
+		// (regression: an overlapping schedule must be the client's 400,
+		// never a simulation-side failure).
+		{"sampling warmup+measure exceeds interval",
+			`{"workload":"specint95","insts":1000,"sampling":{"interval_insts":10000,"warmup_insts":6000,"measure_insts":5000}}`},
+		{"sampling without measurement window",
+			`{"workload":"specint95","insts":1000,"sampling":{"interval_insts":10000}}`},
+		{"sampling windows with zero interval",
+			`{"workload":"specint95","insts":1000,"sampling":{"measure_insts":1000}}`},
 	} {
 		resp, b := postRun(t, ts.URL, tc.body)
 		if resp.StatusCode != http.StatusBadRequest {

@@ -1,0 +1,59 @@
+package system
+
+// Lockstep stepping. A batched sweep (internal/core RunBatch) advances N
+// independent machines against one shared trace stream; it needs to tick
+// each machine a bounded number of cycles per round instead of running it
+// to completion. Step is RunContext's loop body factored out with exactly
+// the same termination semantics, so a machine driven by repeated Step
+// calls evolves byte-identically to one driven by a single RunContext call
+// (pinned by TestStepMatchesRunContext).
+
+// Instance is the narrow view of a machine the lockstep batch driver
+// drives. All per-configuration mutable state — pipeline slabs, cache
+// arrays, predictor tables, coherence state — lives behind this interface
+// in the System (and its CPUs), so the driver holds N opaque instances plus
+// the shared trace ring and nothing else.
+type Instance interface {
+	// Step advances up to n cycles; see System.Step.
+	Step(n int, maxCycles uint64) (done, capped bool)
+	// Done reports whether every CPU has drained.
+	Done() bool
+	// Cycle returns the current global cycle.
+	Cycle() uint64
+	// SourceReadBound returns the most trace records CPU i can consume in
+	// one cycle.
+	SourceReadBound(i int) int
+}
+
+var _ Instance = (*System)(nil)
+
+// Step advances the machine by at most n cycles, stopping early when every
+// CPU drains or the cycle cap is reached. It returns done (machine drained)
+// and capped (cycle cap hit); both false means the machine simply used its
+// n cycles and wants more. The cap is checked before the drain test each
+// cycle, matching RunContext, so a machine that drains exactly at the cap
+// reports capped — the two drivers classify every run identically.
+func (s *System) Step(n int, maxCycles uint64) (done, capped bool) {
+	if maxCycles == 0 {
+		maxCycles = 1 << 62
+	}
+	for ; n > 0; n-- {
+		if s.cycle >= maxCycles {
+			return false, true
+		}
+		if s.Done() {
+			return true, false
+		}
+		for _, c := range s.cpus {
+			c.Tick(s.cycle)
+		}
+		s.cycle++
+	}
+	if s.cycle >= maxCycles {
+		return false, true
+	}
+	return s.Done(), false
+}
+
+// SourceReadBound implements Instance for CPU i.
+func (s *System) SourceReadBound(i int) int { return s.cpus[i].SourceReadBound() }

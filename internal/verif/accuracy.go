@@ -73,7 +73,10 @@ func RunAccuracyStudy(base config.Config, p workload.Profile, opt core.RunOption
 }
 
 // RunAccuracyStudyContext is RunAccuracyStudy with a cancellation point
-// shared by the ladder's scheduled simulations.
+// shared by the ladder's scheduled simulations. With opt.Batch > 1 the
+// ladder's rungs — nine configurations of the same trace — run as lockstep
+// batches of up to opt.Batch members sharing one decoded stream; reports
+// (and therefore the study's numbers) are byte-identical either way.
 func RunAccuracyStudyContext(ctx context.Context, base config.Config, p workload.Profile, opt core.RunOptions) (AccuracyStudy, error) {
 	study := AccuracyStudy{Workload: p.Name}
 	versions := core.Versions()
@@ -81,21 +84,69 @@ func RunAccuracyStudyContext(ctx context.Context, base config.Config, p workload
 	for _, v := range versions {
 		cfgs = append(cfgs, v.Apply(base))
 	}
-	all, err := sched.MapCtx(ctx, len(cfgs), sched.Options{Workers: opt.Workers},
-		func(ctx context.Context, i int) (float64, error) {
-			m, err := core.NewModel(cfgs[i])
-			if err != nil {
-				return 0, err
+	// wrap restores the serial path's error labeling: rung i > 0 is model
+	// version i-1, rung 0 the machine proxy.
+	wrap := func(i int, err error) error {
+		if i > 0 {
+			return fmt.Errorf("%s: %w", versions[i-1].Name, err)
+		}
+		return err
+	}
+	var all []float64
+	var err error
+	if opt.Batch > 1 {
+		all = make([]float64, len(cfgs))
+		var chunks [][2]int
+		for lo := 0; lo < len(cfgs); lo += opt.Batch {
+			hi := lo + opt.Batch
+			if hi > len(cfgs) {
+				hi = len(cfgs)
 			}
-			r, err := m.RunContext(ctx, p, opt)
-			if err != nil {
-				if i > 0 {
-					return 0, fmt.Errorf("%s: %w", versions[i-1].Name, err)
+			chunks = append(chunks, [2]int{lo, hi})
+		}
+		cfgErrs := make([]error, len(cfgs))
+		_, chunkErrs := sched.MapAllCtx(ctx, len(chunks), sched.Options{Workers: opt.Workers},
+			func(ctx context.Context, ci int) (struct{}, error) {
+				lo, hi := chunks[ci][0], chunks[ci][1]
+				reps, errs := core.RunBatch(ctx, cfgs[lo:hi], p, opt)
+				for j := range reps {
+					if errs[j] != nil {
+						cfgErrs[lo+j] = errs[j]
+						continue
+					}
+					all[lo+j] = reps[j].IPC()
 				}
-				return 0, err
+				return struct{}{}, nil
+			})
+		for ci, cerr := range chunkErrs {
+			if cerr == nil {
+				continue
 			}
-			return r.IPC(), nil
-		})
+			for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
+				if cfgErrs[i] == nil {
+					cfgErrs[i] = cerr
+				}
+			}
+		}
+		for i, cerr := range cfgErrs {
+			if cerr != nil {
+				return study, wrap(i, cerr)
+			}
+		}
+	} else {
+		all, err = sched.MapCtx(ctx, len(cfgs), sched.Options{Workers: opt.Workers},
+			func(ctx context.Context, i int) (float64, error) {
+				m, merr := core.NewModel(cfgs[i])
+				if merr != nil {
+					return 0, merr
+				}
+				r, rerr := m.RunContext(ctx, p, opt)
+				if rerr != nil {
+					return 0, wrap(i, rerr)
+				}
+				return r.IPC(), nil
+			})
+	}
 	if err != nil {
 		return study, err
 	}

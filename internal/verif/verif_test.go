@@ -202,6 +202,35 @@ func TestAccuracyStudy(t *testing.T) {
 	}
 }
 
+// TestAccuracyStudyBatchedMatchesSerial: the ladder's lockstep-batched path
+// (opt.Batch > 1) must reproduce the serial study exactly — same IPCs, same
+// ratios — including when the chunk size forces the nine rungs to split
+// across several batches.
+func TestAccuracyStudyBatchedMatchesSerial(t *testing.T) {
+	opt := core.RunOptions{Insts: 40_000, Workers: 1}
+	want, err := RunAccuracyStudy(config.Base(), workload.SPECint2000(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{4, 16} {
+		bo := opt
+		bo.Batch = batch
+		bo.Workers = 2
+		got, err := RunAccuracyStudy(config.Base(), workload.SPECint2000(), bo)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if got.MachineIPC != want.MachineIPC {
+			t.Errorf("batch=%d: machine IPC %v, want %v", batch, got.MachineIPC, want.MachineIPC)
+		}
+		for i := range want.Points {
+			if got.Points[i] != want.Points[i] {
+				t.Errorf("batch=%d: point %d = %+v, want %+v", batch, i, got.Points[i], want.Points[i])
+			}
+		}
+	}
+}
+
 // TestAccuracyStudyContextCancelled: the fidelity ladder must report the
 // cancellation instead of running all nine simulations.
 func TestAccuracyStudyContextCancelled(t *testing.T) {
