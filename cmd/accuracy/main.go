@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 
+	"sparc64v/internal/analytic"
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/obs"
@@ -97,6 +98,13 @@ func main() {
 	t := stats.NewTable(fmt.Sprintf("Model versions on %s (machine proxy IPC %.3f)",
 		prof.Name, study.MachineIPC),
 		"version", "detail", "IPC", "perf/v8", "err vs machine %")
+	// The analytic estimator sits below the ladder as a simulation-free v0
+	// rung; a workload outside the calibration set simply omits it.
+	if cal, calErr := analytic.Default(); calErr == nil {
+		if v0, rungErr := verif.AnalyticRung(cal, base, &study); rungErr == nil {
+			t.AddRow(v0.Name, v0.Detail, v0.IPC, v0.RatioToFinal, 100*v0.ErrorVsMachine)
+		}
+	}
 	for _, p := range study.Points {
 		t.AddRow(p.Name, p.Detail, p.IPC, p.RatioToFinal, 100*p.ErrorVsMachine)
 	}

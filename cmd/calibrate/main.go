@@ -1,0 +1,85 @@
+// Command calibrate regenerates the analytic estimator's checked-in
+// calibration artifact (internal/analytic/calibration.json): it runs the
+// detailed model over the calibration ladder for every uniprocessor
+// workload, fits the per-workload coefficients, and writes the artifact
+// with its residual report.
+//
+//	calibrate                          # rewrite internal/analytic/calibration.json
+//	calibrate -out - -insts 300000     # print a longer-trace artifact to stdout
+//	calibrate -cache-dir .simcache     # reuse cached reference runs
+//
+// Rerun after any change that bumps core.ModelVersion; the artifact records
+// the version it was fitted against and estimates refuse stale artifacts.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sparc64v/internal/analytic"
+	"sparc64v/internal/runcache"
+	"sparc64v/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("out", "internal/analytic/calibration.json",
+		`artifact path ("-" = stdout)`)
+	insts := flag.Int("insts", analytic.DefaultInsts, "per-run detailed trace length")
+	seed := flag.Int64("seed", 42, "trace window seed")
+	workers := flag.Int("workers", 0, "concurrent reference runs (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed run cache directory (empty = no cache)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := analytic.CalibrateOptions{Insts: *insts, Seed: *seed, Workers: *workers}
+	if *cacheDir != "" {
+		c, err := runcache.New(runcache.Options{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			return 2
+		}
+		opt.Cache = c
+	}
+
+	profiles := append(workload.UPProfiles(), workload.HPC())
+	start := time.Now()
+	cal, err := analytic.Calibrate(ctx, profiles, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		return 2
+	}
+
+	var buf bytes.Buffer
+	if err := cal.Write(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		return 2
+	}
+	if *out == "-" {
+		os.Stdout.Write(buf.Bytes())
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(os.Stderr, "calibrated %d workloads at insts=%d seed=%d in %s (model %s)\n",
+		len(cal.Workloads), cal.Insts, cal.Seed,
+		time.Since(start).Round(time.Millisecond), cal.ModelVersion)
+	for _, wc := range cal.Workloads {
+		fmt.Fprintf(os.Stderr, "  %-12s core=%.3f mem=%.3f branch=%.3f const=%.3f  max|err|=%.2f%% rmse=%.2f%%\n",
+			wc.Features.Workload, wc.Coeffs.Core, wc.Coeffs.Mem, wc.Coeffs.Branch,
+			wc.Coeffs.Const, 100*wc.MaxRelErr, 100*wc.RMSE)
+	}
+	return 0
+}

@@ -5,6 +5,9 @@
 // Endpoints:
 //
 //	POST /v1/run          run (or fetch) one simulation; JSON in/out
+//	POST /v1/estimate     closed-form analytic CPI estimate (sub-ms, no
+//	                      simulation, never queued); 404 + fallback hint
+//	                      when the request is outside the calibration set
 //	GET  /v1/studies/{id} run one expt study (table-1, figure-7, ...)
 //	GET  /healthz         liveness probe
 //	GET  /metrics         text metrics (cache, queue, simulation meter)

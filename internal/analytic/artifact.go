@@ -1,0 +1,166 @@
+package analytic
+
+import (
+	_ "embed"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"sparc64v/internal/config"
+)
+
+// Residual is one ladder point's calibration error.
+type Residual struct {
+	// Config names the ladder configuration.
+	Config string `json:"config"`
+	// MeasuredCPI is the detailed model's CPI; EstimatedCPI the fitted
+	// model's; RelErr their signed relative difference.
+	MeasuredCPI  float64 `json:"measured_cpi"`
+	EstimatedCPI float64 `json:"estimated_cpi"`
+	RelErr       float64 `json:"rel_err"`
+}
+
+// WorkloadCalibration is one workload's fitted model plus the evidence for
+// trusting it.
+type WorkloadCalibration struct {
+	Features  Features     `json:"features"`
+	Coeffs    Coefficients `json:"coefficients"`
+	Residuals []Residual   `json:"residuals"`
+	// MaxRelErr is the largest absolute relative residual across the
+	// ladder; RMSE the root-mean-square. MaxRelErr sizes the confidence
+	// band on every estimate.
+	MaxRelErr float64 `json:"max_rel_err"`
+	RMSE      float64 `json:"rmse"`
+}
+
+// Calibration is the complete estimator state: everything POST /v1/estimate
+// needs, checked into the repository and embedded into the binary so the
+// fast tier works with zero setup. Regenerate with cmd/calibrate.
+type Calibration struct {
+	// ModelVersion records the simulator version the references ran on;
+	// estimates refuse to serve from a stale artifact.
+	ModelVersion string `json:"model_version"`
+	// Insts and Seed pin the reference runs' operating point.
+	Insts int   `json:"insts"`
+	Seed  int64 `json:"seed"`
+	// Workloads holds one calibrated model per workload.
+	Workloads []WorkloadCalibration `json:"workloads"`
+}
+
+// ErrUncalibrated reports that no calibrated model exists for the requested
+// (workload, configuration) pair — multiprocessor configurations and
+// workloads outside the calibration set. Callers fall back to the detailed
+// tier.
+var ErrUncalibrated = errors.New("analytic: not calibrated for this request")
+
+// Lookup finds a workload's calibration by canonical name
+// (case-insensitive, matching workload.ByName).
+func (c *Calibration) Lookup(name string) (*WorkloadCalibration, bool) {
+	for i := range c.Workloads {
+		if strings.EqualFold(c.Workloads[i].Features.Workload, name) {
+			return &c.Workloads[i], true
+		}
+	}
+	return nil, false
+}
+
+// Estimate is a fast-tier CPI prediction with its uncertainty and
+// provenance.
+type Estimate struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// CPI is the point estimate; IPC its reciprocal. CPILow and CPIHigh
+	// are the confidence band: the point estimate widened by the
+	// calibration's worst relative residual.
+	CPI     float64 `json:"cpi"`
+	IPC     float64 `json:"ipc"`
+	CPILow  float64 `json:"cpi_low"`
+	CPIHigh float64 `json:"cpi_high"`
+	// Terms itemizes the uncalibrated model terms (cycles per
+	// instruction) so the estimate is explainable.
+	Terms map[string]float64 `json:"terms"`
+	// ModelVersion, CalibrationInsts and CalibrationSeed identify the
+	// calibration artifact that produced the estimate; MaxRelErr is its
+	// worst ladder residual (the band's half-width, relative).
+	ModelVersion     string  `json:"model_version"`
+	CalibrationInsts int     `json:"calibration_insts"`
+	CalibrationSeed  int64   `json:"calibration_seed"`
+	MaxRelErr        float64 `json:"max_rel_err"`
+}
+
+// Estimate prices configuration cfg for the named workload. It returns
+// ErrUncalibrated for multiprocessor configurations and workloads outside
+// the calibration set; every other configuration within the model's
+// parameter space gets an answer in microseconds.
+func (c *Calibration) Estimate(cfg config.Config, name string) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if cfg.CPUs != 1 {
+		return Estimate{}, fmt.Errorf("%w: %d-CPU configuration (calibrated for uniprocessors)", ErrUncalibrated, cfg.CPUs)
+	}
+	wc, ok := c.Lookup(name)
+	if !ok {
+		return Estimate{}, fmt.Errorf("%w: workload %q", ErrUncalibrated, name)
+	}
+	terms, parts := wc.Features.Terms(cfg)
+	cpi := wc.Coeffs.CPI(terms)
+	// The machine cannot beat perfectly packed issue; an extrapolated
+	// estimate must not either.
+	if floor := 1 / float64(cfg.CPU.IssueWidth); cpi < floor {
+		cpi = floor
+	}
+	e := Estimate{
+		Workload:         wc.Features.Workload,
+		Config:           cfg.Name,
+		CPI:              cpi,
+		IPC:              1 / cpi,
+		CPILow:           cpi * (1 - wc.MaxRelErr),
+		CPIHigh:          cpi * (1 + wc.MaxRelErr),
+		Terms:            parts,
+		ModelVersion:     c.ModelVersion,
+		CalibrationInsts: c.Insts,
+		CalibrationSeed:  c.Seed,
+		MaxRelErr:        wc.MaxRelErr,
+	}
+	return e, nil
+}
+
+// Write serializes the artifact as stable indented JSON (the checked-in
+// calibration.json format).
+func (c *Calibration) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Load parses an artifact.
+func Load(data []byte) (*Calibration, error) {
+	var c Calibration
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("analytic: bad calibration artifact: %w", err)
+	}
+	return &c, nil
+}
+
+//go:embed calibration.json
+var embedded []byte
+
+var (
+	defaultOnce sync.Once
+	defaultCal  *Calibration
+	defaultErr  error
+)
+
+// Default returns the calibration artifact checked into the repository
+// (embedded at build time). Regenerate it with cmd/calibrate after any
+// change that bumps core.ModelVersion.
+func Default() (*Calibration, error) {
+	defaultOnce.Do(func() {
+		defaultCal, defaultErr = Load(embedded)
+	})
+	return defaultCal, defaultErr
+}

@@ -393,6 +393,19 @@ func (c Config) WithSmallL1() Config {
 	return c
 }
 
+// WithL1Capacity shrinks (or grows) both L1 caches to sizeBytes with the
+// given associativity while keeping the base hit latencies, line size,
+// banking and MSHRs — a pure capacity/associativity change, unlike
+// WithSmallL1's latency-for-volume trade-off. The analytic calibration
+// ladder and the trend checks use it to probe cache-size response in
+// isolation.
+func (c Config) WithL1Capacity(sizeBytes, ways int) Config {
+	c.L1I.SizeBytes, c.L1I.Ways = sizeBytes, ways
+	c.L1D.SizeBytes, c.L1D.Ways = sizeBytes, ways
+	c.Name += fmt.Sprintf(".l1-%dk-%dw-iso", sizeBytes>>10, ways)
+	return c
+}
+
 // WithOffChipL2 selects an off-chip 8MB L2 with the given associativity
 // (Figure 14/15's "off.8m-2w" and "off.8m-1w" alternatives).
 func (c Config) WithOffChipL2(ways int) Config {

@@ -26,7 +26,7 @@ import (
 // version that produced it. Bump this on ANY change that can alter
 // simulation output — timing fixes, new counters, workload-generator
 // changes — or stale results will be served as current ones.
-const ModelVersion = "sparc64v-model/5"
+const ModelVersion = "sparc64v-model/6"
 
 // Simulation meter: committed instructions, cycles and runs actually
 // simulated in this process (cache-served results do not count). The sweep

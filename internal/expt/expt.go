@@ -598,6 +598,10 @@ func Studies() []Study {
 		{"Section 2.1", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
 			return []Result{ModelSpeedCtx(ctx, o)}, nil
 		}},
+		{"Estimator", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := AnalyticStudyCtx(ctx, o)
+			return []Result{r}, err
+		}},
 	}
 }
 

@@ -1,0 +1,161 @@
+package metamorph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"sparc64v/internal/analytic"
+	"sparc64v/internal/config"
+	"sparc64v/internal/core"
+	"sparc64v/internal/workload"
+)
+
+// analyticCPITol is the accuracy contract of the fast tier: the calibrated
+// analytic estimate must land within 10% of the detailed model's CPI at the
+// calibration operating point on every registered workload.
+const analyticCPITol = 0.10
+
+// checkConserveStallAttribution verifies that the per-cause stall
+// attribution is physically possible: the issue stage records at most one
+// stall cause per cycle, the fetch stage at most one, and the commit stage
+// classifies at most one zero-commit cause per cycle — so each family's sum
+// can never exceed the cycle count. An attribution bug (double counting, a
+// missed early return) breaks this before it becomes a visibly wrong
+// breakdown table.
+func checkConserveStallAttribution(ctx context.Context, env *Env) (string, error) {
+	var details []string
+	for _, p := range env.Profiles {
+		m, err := core.NewModel(env.Base)
+		if err != nil {
+			return "", err
+		}
+		r, err := m.RunContext(ctx, p, env.opts())
+		if err != nil {
+			return "", err
+		}
+		for i := range r.CPUs {
+			c := &r.CPUs[i].Core
+			issue := c.StallWindow + c.StallRename + c.StallRS + c.StallLQ + c.StallSQ
+			fetch := c.FetchStallICache + c.FetchStallBranch
+			zero := c.ZeroCommitFrontend + c.ZeroCommitMemory + c.ZeroCommitExecute +
+				c.ZeroCommitRS + c.ZeroCommitSpec
+			for _, fam := range []struct {
+				name string
+				sum  uint64
+			}{{"issue-stall", issue}, {"fetch-stall", fetch}, {"zero-commit", zero}} {
+				if fam.sum > c.Cycles {
+					return "", violationf("%s: cpu%d %s sum %d > %d cycles",
+						p.Name, i, fam.name, fam.sum, c.Cycles)
+				}
+			}
+			details = append(details, fmt.Sprintf("%s: issue=%.0f%% fetch=%.0f%% zero=%.0f%% of cycles",
+				p.Name, 100*float64(issue)/float64(c.Cycles),
+				100*float64(fetch)/float64(c.Cycles),
+				100*float64(zero)/float64(c.Cycles)))
+		}
+	}
+	return strings.Join(details, "; "), nil
+}
+
+// analyticMeasuredCPI runs the detailed model at the calibration artifact's
+// operating point (its trace length and seed, not the harness's) so the
+// comparison prices the estimator, not a trace-length mismatch.
+func analyticMeasuredCPI(ctx context.Context, env *Env, cal *analytic.Calibration,
+	cfg config.Config, p workload.Profile) (float64, error) {
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return 0, err
+	}
+	opt := env.opts()
+	opt.Insts, opt.Seed = cal.Insts, cal.Seed
+	r, err := m.RunContext(ctx, p, opt)
+	if err != nil {
+		return 0, err
+	}
+	ipc := r.IPC()
+	if ipc <= 0 {
+		return 0, fmt.Errorf("%s/%s: detailed run has no IPC", cfg.Name, p.Name)
+	}
+	return 1 / ipc, nil
+}
+
+// checkAnalyticResidual is the fast tier's accuracy gate: the embedded
+// calibration artifact must match the current model version, its estimate
+// must land within analyticCPITol of a fresh detailed run on every
+// calibrated workload (this also catches timing changes shipped without a
+// ModelVersion bump — the detailed CPI drifts away from the fitted one),
+// and an L1 capacity ladder must move the estimate in the same direction as
+// the detailed model.
+func checkAnalyticResidual(ctx context.Context, env *Env) (string, error) {
+	cal, err := analytic.Default()
+	if err != nil {
+		return "", err
+	}
+	if cal.ModelVersion != core.ModelVersion {
+		return "", violationf("calibration artifact fitted against %q but model is %q — regenerate with cmd/calibrate",
+			cal.ModelVersion, core.ModelVersion)
+	}
+	var details []string
+	var first *workload.Profile
+	var firstMeasured, firstEstimated float64
+	for i := range env.Profiles {
+		p := env.Profiles[i]
+		est, err := cal.Estimate(env.Base, p.Name)
+		if errors.Is(err, analytic.ErrUncalibrated) {
+			details = append(details, p.Name+": uncalibrated (skipped)")
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		measured, err := analyticMeasuredCPI(ctx, env, cal, env.Base, p)
+		if err != nil {
+			return "", err
+		}
+		rel := math.Abs(est.CPI-measured) / measured
+		if rel > analyticCPITol {
+			return "", violationf("%s: analytic CPI %.4f vs detailed %.4f: %.1f%% error exceeds %.0f%%",
+				p.Name, est.CPI, measured, 100*rel, 100*analyticCPITol)
+		}
+		if first == nil {
+			first, firstMeasured, firstEstimated = &env.Profiles[i], measured, est.CPI
+		}
+		details = append(details, fmt.Sprintf("%s: %.4f~%.4f (%.1f%%)",
+			p.Name, est.CPI, measured, 100*rel))
+	}
+	if first == nil {
+		return "", fmt.Errorf("no calibrated workload in the harness profile set")
+	}
+	// Trend agreement on the first calibrated profile: shrinking the L1s
+	// at constant hit latency must raise both models' CPI (or move the
+	// detailed model too little to carry a sign).
+	for _, cfg := range []config.Config{
+		env.Base.WithL1Capacity(64<<10, 2),
+		env.Base.WithL1Capacity(32<<10, 1),
+	} {
+		est, err := cal.Estimate(cfg, first.Name)
+		if err != nil {
+			return "", err
+		}
+		measured, err := analyticMeasuredCPI(ctx, env, cal, cfg, *first)
+		if err != nil {
+			return "", err
+		}
+		fullDelta := (measured - firstMeasured) / firstMeasured
+		estDelta := est.CPI - firstEstimated
+		switch {
+		case math.Abs(fullDelta) < trendDeadBand:
+			details = append(details, fmt.Sprintf("trend %s: flat (detailed delta %+.1f%% inside dead band)",
+				cfg.Name, 100*fullDelta))
+		case fullDelta*estDelta <= 0:
+			return "", violationf("%s: %s moves detailed CPI by %+.1f%% but the estimate by %+.4f: trend sign disagrees",
+				first.Name, cfg.Name, 100*fullDelta, estDelta)
+		default:
+			details = append(details, fmt.Sprintf("trend %s: %+.4f~%+.1f%%", cfg.Name, estDelta, 100*fullDelta))
+		}
+	}
+	return strings.Join(details, "; "), nil
+}

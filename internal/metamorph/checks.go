@@ -118,6 +118,16 @@ func Catalog() []Check {
 			Detail: "sampled-mode CPI within 5% of the full run; config trends keep their sign",
 			Run:    checkSampledCPI,
 		},
+		{
+			Name: "conserve-stall-attribution", Kind: "conservation",
+			Detail: "per-cause issue/fetch/zero-commit stall sums never exceed total cycles",
+			Run:    checkConserveStallAttribution,
+		},
+		{
+			Name: "analytic-residual", Kind: "differential",
+			Detail: "analytic CPI within 10% of the detailed model; L1 ladder trends keep their sign",
+			Run:    checkAnalyticResidual,
+		},
 	}
 }
 
@@ -719,12 +729,7 @@ func checkDiffReferenceTrend(ctx context.Context, env *Env) (string, error) {
 	// faster-but-smaller trade-off the in-order reference and the OoO model
 	// legitimately weigh differently): a pure capacity loss must slow both
 	// models, or at least never speed one up while slowing the other.
-	smallL1 := env.Base
-	smallL1.L1I.SizeBytes = 32 << 10
-	smallL1.L1I.Ways = 1
-	smallL1.L1D.SizeBytes = 32 << 10
-	smallL1.L1D.Ways = 1
-	smallL1.Name += ".l1-32k-1w-iso"
+	smallL1 := env.Base.WithL1Capacity(32<<10, 1)
 	changes := []struct {
 		name    string
 		variant config.Config

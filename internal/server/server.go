@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sparc64v/internal/analytic"
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/expt"
@@ -76,9 +77,15 @@ type Server struct {
 	queue   chan struct{}
 	working chan struct{}
 
-	runRequests   atomic.Uint64
-	studyRequests atomic.Uint64
-	rejected      atomic.Uint64
+	runRequests      atomic.Uint64
+	studyRequests    atomic.Uint64
+	estimateRequests atomic.Uint64
+	rejected         atomic.Uint64
+
+	// cal is the embedded analytic calibration behind POST /v1/estimate;
+	// the fast tier is pure arithmetic over it, so estimate requests never
+	// touch the admission queue.
+	cal *analytic.Calibration
 
 	// reg holds the obs-based series; now is the request clock, scripted
 	// by the exposition golden test.
@@ -117,7 +124,12 @@ func New(c Config) (*Server, error) {
 	if c.Registry == nil {
 		c.Registry = obs.Default()
 	}
+	cal, err := analytic.Default()
+	if err != nil {
+		return nil, fmt.Errorf("server: load calibration artifact: %w", err)
+	}
 	s := &Server{
+		cal:          cal,
 		cache:        c.Cache,
 		base:         c.Base,
 		workers:      c.Workers,
@@ -137,6 +149,7 @@ func New(c Config) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/studies/{id}", s.handleStudy)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -191,6 +204,8 @@ func endpointLabel(path string) string {
 	switch {
 	case path == "/v1/run":
 		return "run"
+	case path == "/v1/estimate":
+		return "estimate"
 	case strings.HasPrefix(path, "/v1/studies/"):
 		return "study"
 	case path == "/healthz":
@@ -343,7 +358,85 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	w.Header().Set("X-Model-Version", core.ModelVersion)
 	writeJSON(w, RunResponse{Key: key.ID(), Cache: outcome.String(), Stats: rep.Summary()})
+}
+
+// EstimateRequest is the POST /v1/estimate body: the same workload naming
+// and strict configuration overlay as /v1/run, minus the run-shaping fields
+// (insts/seed/warmup belong to simulation; the analytic tier's operating
+// point is fixed by its calibration artifact).
+type EstimateRequest struct {
+	Workload string          `json:"workload"`
+	CPUs     int             `json:"cpus,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+}
+
+// handleEstimate serves the analytic fast tier: a closed-form CPI estimate
+// with confidence band and calibration provenance (the analytic.Estimate
+// JSON). It never enters the admission queue — the computation is pure
+// arithmetic over the embedded calibration artifact, so an estimate stays
+// sub-millisecond even while every worker slot is busy simulating.
+// Uncalibrated requests (MP configurations, workloads outside the artifact)
+// get 404 with a fallback hint; a stale artifact (model version behind the
+// binary) gets 503, because serving numbers fitted against a different
+// simulator would be silently wrong.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.estimateRequests.Add(1)
+	outcomeCounter := func(outcome string) *obs.Counter {
+		return s.reg.Counter("sparc64v_server_estimates_total",
+			"POST /v1/estimate outcomes: served, or fallback-to-/v1/run.",
+			obs.L("outcome", outcome))
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req EstimateRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	prof, ok := workload.ByName(req.Workload)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown workload %q (have %v)", req.Workload, workload.Names())
+		return
+	}
+	cfg := s.base
+	if len(req.Config) > 0 {
+		var err error
+		cfg, err = config.OverlayJSON(cfg, bytes.NewReader(req.Config))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad config overlay: %v", err)
+			return
+		}
+	}
+	// Mirror /v1/run's CPU-count semantics so the two tiers price the same
+	// machine for the same request body.
+	switch {
+	case req.CPUs > 0:
+		cfg = cfg.WithCPUs(req.CPUs)
+	case prof.SharedBytes > 0 && cfg.CPUs <= 1:
+		cfg = cfg.WithCPUs(16)
+	}
+	if s.cal.ModelVersion != core.ModelVersion {
+		outcomeCounter("fallback_stale").Inc()
+		httpError(w, http.StatusServiceUnavailable,
+			"calibration artifact is for model %q but this binary is %q; use POST /v1/run",
+			s.cal.ModelVersion, core.ModelVersion)
+		return
+	}
+	est, err := s.cal.Estimate(cfg, prof.Name)
+	if err != nil {
+		if errors.Is(err, analytic.ErrUncalibrated) {
+			outcomeCounter("fallback_uncalibrated").Inc()
+			httpError(w, http.StatusNotFound, "%v; use POST /v1/run", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad configuration: %v", err)
+		return
+	}
+	outcomeCounter("served").Inc()
+	w.Header().Set("X-Model-Version", core.ModelVersion)
+	writeJSON(w, est)
 }
 
 // StudyResponse is the GET /v1/studies/{id} reply.
@@ -451,6 +544,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
 	emit("# HELP sparc64v_requests_total HTTP requests received per endpoint.\n")
 	emit("# TYPE sparc64v_requests_total counter\n")
+	emit("sparc64v_requests_total{endpoint=\"estimate\"} %d\n", s.estimateRequests.Load())
 	emit("sparc64v_requests_total{endpoint=\"run\"} %d\n", s.runRequests.Load())
 	emit("sparc64v_requests_total{endpoint=\"study\"} %d\n", s.studyRequests.Load())
 	emit("# HELP sparc64v_rejected_total Requests shed with 429 because the queue was full.\n")

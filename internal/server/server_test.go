@@ -76,6 +76,9 @@ func TestRunEndpointEndToEnd(t *testing.T) {
 	if resp1.StatusCode != http.StatusOK {
 		t.Fatalf("cold run: %d %s", resp1.StatusCode, b1)
 	}
+	if got := resp1.Header.Get("X-Model-Version"); got != core.ModelVersion {
+		t.Fatalf("X-Model-Version = %q, want %q", got, core.ModelVersion)
+	}
 	var r1, r2 RunResponse
 	if err := json.Unmarshal(b1, &r1); err != nil {
 		t.Fatal(err)

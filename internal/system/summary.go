@@ -60,12 +60,19 @@ type CPUSummary struct {
 	StallRS          uint64            `json:"stall_rs"`
 	StallLQ          uint64            `json:"stall_lq"`
 	StallSQ          uint64            `json:"stall_sq"`
-	ZeroFrontend     uint64            `json:"zero_commit_frontend"`
-	ZeroMemory       uint64            `json:"zero_commit_memory"`
-	ZeroExecute      uint64            `json:"zero_commit_execute"`
-	ZeroRS           uint64            `json:"zero_commit_rs"`
-	ITLBMissRate     float64           `json:"itlb_miss_rate"`
-	DTLBMissRate     float64           `json:"dtlb_miss_rate"`
+	// Per-cause front-end stalls and the chip's TLB penalty cycles: the
+	// fields the analytic estimator (internal/analytic) consumes, exposed
+	// so an estimate is explainable from one run's JSON.
+	FetchStallICache uint64  `json:"fetch_stall_icache"`
+	FetchStallBranch uint64  `json:"fetch_stall_branch"`
+	FetchBubbles     uint64  `json:"fetch_bubbles"`
+	TLBStallCycles   uint64  `json:"tlb_stall_cycles"`
+	ZeroFrontend     uint64  `json:"zero_commit_frontend"`
+	ZeroMemory       uint64  `json:"zero_commit_memory"`
+	ZeroExecute      uint64  `json:"zero_commit_execute"`
+	ZeroRS           uint64  `json:"zero_commit_rs"`
+	ITLBMissRate     float64 `json:"itlb_miss_rate"`
+	DTLBMissRate     float64 `json:"dtlb_miss_rate"`
 }
 
 // Summary flattens the report.
@@ -116,6 +123,10 @@ func (r *Report) Summary() Summary {
 			StallRS:          c.Core.StallRS,
 			StallLQ:          c.Core.StallLQ,
 			StallSQ:          c.Core.StallSQ,
+			FetchStallICache: c.Core.FetchStallICache,
+			FetchStallBranch: c.Core.FetchStallBranch,
+			FetchBubbles:     c.Core.FetchBubbles,
+			TLBStallCycles:   c.TLBStallCycles,
 			ZeroFrontend:     c.Core.ZeroCommitFrontend,
 			ZeroMemory:       c.Core.ZeroCommitMemory,
 			ZeroExecute:      c.Core.ZeroCommitExecute,

@@ -1,0 +1,53 @@
+package system
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparc64v/internal/config"
+	"sparc64v/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSummaryGoldenJSON pins the exact Summary JSON (the sparc64sim -json
+// and POST /v1/run payload) for a small deterministic run. Any field
+// addition, rename, or value change shows up as a diff here — the
+// reminder to bump core.ModelVersion so cached runs don't serve a stale
+// shape. Regenerate with: go test ./internal/system -run SummaryGolden -update
+func TestSummaryGoldenJSON(t *testing.T) {
+	r := runUP(t, config.Base(), workload.SPECint95(), 20000)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "summary_specint95.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary JSON drifted from golden %s (regenerate with -update if intended, and bump core.ModelVersion):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+	// The golden must carry the per-cause stall breakdown the analytic
+	// estimator consumes.
+	for _, field := range []string{
+		"fetch_stall_icache", "fetch_stall_branch", "fetch_bubbles", "tlb_stall_cycles",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(`"`+field+`"`)) {
+			t.Errorf("summary JSON missing stall-breakdown field %q", field)
+		}
+	}
+}

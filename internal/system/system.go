@@ -131,6 +131,9 @@ type CPUReport struct {
 	L1I, L1D, L2 cache.Stats
 	// ITLBMissRate and DTLBMissRate are misses per access.
 	ITLBMissRate, DTLBMissRate float64
+	// TLBStallCycles is the cycles charged to TLB miss penalties (both
+	// TLBs), the chip-level counterpart of the core's stall attribution.
+	TLBStallCycles uint64
 }
 
 // IPC returns this CPU's committed instructions per cycle.
@@ -281,6 +284,7 @@ func (s *System) Report(workload string) Report {
 		}
 		cr.ITLBMissRate = s.chips[i].ITLB.MissRate()
 		cr.DTLBMissRate = s.chips[i].DTLB.MissRate()
+		cr.TLBStallCycles = s.chips[i].TLBStallCycles
 		r.CPUs = append(r.CPUs, cr)
 		r.Committed += c.Stats.Committed
 	}

@@ -166,5 +166,7 @@ func (c *Cursor) Next(r *Record) bool {
 // Close marks the cursor done: it stops holding back the ring, so the
 // remaining consumers can stream ahead. The batch driver closes a member's
 // cursors when the member finishes, is cancelled, hits its cycle cap, or
-// is served from the run cache.
+// is served from the run cache — and more than one of those paths can fire
+// for the same member, so Close is idempotent: closing an already-closed
+// cursor is a no-op and never disturbs the ring or the other cursors.
 func (c *Cursor) Close() { c.closed = true }

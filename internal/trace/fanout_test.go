@@ -202,3 +202,42 @@ func TestFanoutDepthRounding(t *testing.T) {
 		}
 	}
 }
+
+// Close is idempotent: the batch driver can reach a member's cursors
+// through more than one teardown path (normal finish, cancellation, cycle
+// cap, cache hit), so closing twice must be a no-op — the ring keeps
+// streaming for the survivors and the stream they see is unchanged.
+func TestFanoutDoubleClose(t *testing.T) {
+	recs := fanoutRecs(300)
+	f := NewFanout(NewSliceSource(recs), 64, 2)
+	quitter, survivor := f.Cursor(0), f.Cursor(1)
+
+	var r Record
+	for i := 0; i < 10; i++ {
+		if !quitter.Next(&r) {
+			t.Fatalf("quitter ended at %d", i)
+		}
+	}
+	quitter.Close()
+	quitter.Close() // second close: must change nothing
+	for i := 0; i < len(recs); i++ {
+		if survivor.Starved(1) {
+			t.Fatalf("survivor starved at %d after double close", i)
+		}
+		if !survivor.Next(&r) {
+			t.Fatalf("survivor ended at %d", i)
+		}
+		if r != recs[i] {
+			t.Fatalf("survivor record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+	if survivor.Next(&r) {
+		t.Fatal("survivor yielded a record past the end")
+	}
+	// Closing the last open cursor twice is equally harmless.
+	survivor.Close()
+	survivor.Close()
+	if f.Streamed() != uint64(len(recs)) {
+		t.Fatalf("Streamed() = %d, want %d", f.Streamed(), len(recs))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"sparc64v/internal/analytic"
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/sched"
@@ -49,6 +50,32 @@ func (a *AccuracyStudy) FinalError() float64 {
 		return -e
 	}
 	return e
+}
+
+// AnalyticRung places the grey-box analytic estimator (internal/analytic)
+// below the fidelity ladder as a "v0" rung: the closed-form estimate's IPC
+// scored against the same machine proxy and final model as the simulated
+// versions. The paper's ladder starts at a trace-driven v1; the analytic
+// tier sits beneath it — no simulation at all — and this rung shows how
+// much accuracy that costs. The study must already hold v1..v8; an error
+// (e.g. the workload is outside the calibration set) leaves the ladder
+// usable without the rung.
+func AnalyticRung(cal *analytic.Calibration, base config.Config, study *AccuracyStudy) (VersionPoint, error) {
+	if len(study.Points) == 0 {
+		return VersionPoint{}, fmt.Errorf("verif: accuracy study for %s has no ladder points", study.Workload)
+	}
+	est, err := cal.Estimate(base, study.Workload)
+	if err != nil {
+		return VersionPoint{}, err
+	}
+	final := study.Points[len(study.Points)-1].IPC
+	return VersionPoint{
+		Name:           "v0",
+		Detail:         "analytic grey-box estimate (no simulation)",
+		IPC:            est.IPC,
+		RatioToFinal:   est.IPC / final,
+		ErrorVsMachine: stats.PercentDelta(est.IPC, study.MachineIPC) / 100,
+	}, nil
 }
 
 // PhysicalMachineProxy derives the "physical machine" from the final

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"sparc64v/internal/analytic"
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/trace"
@@ -267,5 +268,47 @@ func TestTrendCheckContextCancelled(t *testing.T) {
 		core.RunOptions{Insts: 30_000, Workers: 2})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunTrendCheckContext err = %v", err)
+	}
+}
+
+// TestAnalyticRung: the grey-box estimator renders as a v0 rung scored
+// against the same machine proxy and final model as the simulated ladder,
+// and workloads outside the calibration set degrade to an error rather
+// than a fabricated rung.
+func TestAnalyticRung(t *testing.T) {
+	cal, err := analytic.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := AccuracyStudy{
+		Workload:   "SPECint2000",
+		MachineIPC: 0.50,
+		Points: []VersionPoint{
+			{Name: "v1", IPC: 0.90},
+			{Name: "v8", IPC: 0.48},
+		},
+	}
+	v0, err := AnalyticRung(cal, config.Base(), &study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.Name != "v0" || v0.IPC <= 0 {
+		t.Fatalf("rung = %+v", v0)
+	}
+	if want := v0.IPC / 0.48; v0.RatioToFinal != want {
+		t.Errorf("RatioToFinal = %v, want %v", v0.RatioToFinal, want)
+	}
+	if want := (v0.IPC - 0.50) / 0.50; v0.ErrorVsMachine < want-1e-9 || v0.ErrorVsMachine > want+1e-9 {
+		t.Errorf("ErrorVsMachine = %v, want %v", v0.ErrorVsMachine, want)
+	}
+
+	study.Workload = "quake3"
+	if _, err := AnalyticRung(cal, config.Base(), &study); !errors.Is(err, analytic.ErrUncalibrated) {
+		t.Errorf("uncalibrated workload: err = %v, want ErrUncalibrated", err)
+	}
+	study.Workload = "SPECint2000"
+	study.Points = nil
+	if _, err := AnalyticRung(cal, config.Base(), &study); err == nil {
+		t.Error("empty ladder: err = nil, want error")
 	}
 }
