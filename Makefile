@@ -7,7 +7,7 @@ INSTS ?= 1000000
 # with unchanged config+workload+seed+model are served without simulating.
 CACHE_DIR ?= .simcache
 
-.PHONY: build test race bench benchdiff bench-baseline sampling-speedup sweep accuracy serve smoke verify verify-quick clean
+.PHONY: build test race bench benchdiff bench-baseline sampling-speedup sweep accuracy serve smoke cluster-smoke verify verify-quick clean
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,14 @@ serve:
 # cache hit via /metrics, and drains it with SIGINT.
 smoke:
 	./scripts/smoke.sh
+
+# End-to-end cluster check: boots three peer-meshed simd workers behind
+# a simgw gateway, runs a sweep twice, and proves via the gateway's
+# /metrics that the warm pass simulated nothing anywhere in the pool;
+# then drains a worker and shows the pool stays available. See DESIGN.md
+# "Distributed tier".
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Metamorphic cross-verification harness (internal/metamorph, cmd/verify):
 # monotonicity, conservation, and differential invariants over the model.

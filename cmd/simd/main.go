@@ -33,6 +33,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux for -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +49,8 @@ func main() {
 		maxQueue = flag.Int("max-queue", 64, "jobs admitted beyond the running ones before shedding 429s (negative = none)")
 		insts    = flag.Int("insts", 1_000_000, "default instructions per CPU when a request omits insts")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty = disabled)")
+		nodeID   = flag.String("node-id", "", "cluster node name, echoed as X-Node on every response (empty = single-node)")
+		peers    = flag.String("peers", "", "comma-separated peer base URLs for the shared-cache tier (e.g. http://host:8965,http://host:8966)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,8 @@ func main() {
 		Workers:      *workers,
 		MaxQueue:     *maxQueue,
 		DefaultInsts: *insts,
+		NodeID:       *nodeID,
+		Peers:        splitPeers(*peers),
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -102,6 +107,18 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Fprintln(os.Stderr, "simd: drained, bye")
+}
+
+// splitPeers parses the -peers flag; empty elements (trailing commas,
+// doubled separators) are dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(format string, args ...any) {

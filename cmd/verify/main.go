@@ -63,6 +63,10 @@ func run() int {
 		Seed:    *seed,
 		Insts:   *insts,
 		Workers: *workers,
+		// The cluster-replay differential lives here (not in
+		// internal/metamorph) because it drives the HTTP gateway; see
+		// cluster.go.
+		Extra: []metamorph.Check{clusterReplayCheck()},
 	}
 	if *profile != "" {
 		opt.Obs = obs.NewCollector()

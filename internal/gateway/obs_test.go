@@ -1,0 +1,219 @@
+package gateway
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparc64v/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// scriptedTransport answers proxied requests by worker hostname, so the
+// golden test needs no listeners and no real clock.
+type scriptedTransport struct {
+	mu sync.Mutex
+	// byHost maps a worker hostname to its scripted behavior.
+	byHost map[string]func(r *http.Request) (*http.Response, error)
+}
+
+func (t *scriptedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	fn, ok := t.byHost[r.URL.Hostname()]
+	t.mu.Unlock()
+	if !ok {
+		return nil, errors.New("unscripted host " + r.URL.Hostname())
+	}
+	return fn(r)
+}
+
+func scriptedResponse(status int, header map[string]string, body string) *http.Response {
+	h := http.Header{}
+	for k, v := range header {
+		h.Set(k, v)
+	}
+	return &http.Response{
+		StatusCode: status,
+		Header:     h,
+		Body:       io.NopCloser(strings.NewReader(body)),
+	}
+}
+
+// TestGatewayMetricsGolden scripts the clock, the worker pool, and an
+// exact request sequence, then compares the gateway's full /metrics page
+// against a checked-in golden file. Regenerate deliberately with:
+//
+//	go test ./internal/gateway -run Golden -update
+func TestGatewayMetricsGolden(t *testing.T) {
+	okBody := `{"key":"k","cache":"miss","stats":{}}`
+	transport := &scriptedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		// n0: healthy; first run misses, later runs hit.
+		"n0": func() func(*http.Request) (*http.Response, error) {
+			calls := 0
+			return func(r *http.Request) (*http.Response, error) {
+				if strings.HasSuffix(r.URL.Path, "/healthz") {
+					return scriptedResponse(200, nil, "ok\n"), nil
+				}
+				calls++
+				outcome := "miss"
+				if calls > 1 {
+					outcome = "hit"
+				}
+				return scriptedResponse(200, map[string]string{
+					"Content-Type": "application/json",
+					"X-Node":       "n0",
+					"X-Cache":      outcome,
+				}, okBody), nil
+			}
+		}(),
+		// n1: dead — every contact is a transport error.
+		"n1": func(*http.Request) (*http.Response, error) {
+			return nil, errors.New("connection refused")
+		},
+		// n2: draining — 503 on everything.
+		"n2": func(r *http.Request) (*http.Response, error) {
+			return scriptedResponse(503, nil, `{"error":"draining"}`), nil
+		},
+	}}
+
+	gw, err := New(Config{
+		Workers: []Worker{
+			{Name: "n0", URL: "http://n0:1"},
+			{Name: "n1", URL: "http://n1:1"},
+			{Name: "n2", URL: "http://n2:1"},
+		},
+		DefaultInsts: 20_000,
+		Client:       &http.Client{Transport: transport},
+		Registry:     obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scripted clock: each read advances 1ms, so every latency
+	// observation is exactly 1ms and the histogram is reproducible.
+	base := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	tick := 0
+	gw.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	}
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// The scripted sequence: two runs of one config (a miss then a hit,
+	// possibly with failover retries depending on ring placement — all
+	// deterministic), one estimate, one client error, one health probe.
+	post("/v1/run", `{"workload":"specint95","seed":1}`)
+	post("/v1/run", `{"workload":"specint95","seed":1}`)
+	post("/v1/estimate", `{"workload":"specint95"}`)
+	post("/v1/run", `{"workload":"nope"}`)
+	gw.ProbeHealth(t.Context())
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("/metrics drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestNodeLabelsBounded is the negative cardinality test: whatever
+// clients send — hostile workload names, junk paths, arbitrary bodies —
+// the node and endpoint label sets on the gateway exposition stay
+// exactly the configured pool and the fixed endpoint vocabulary. A
+// malicious client must never be able to mint new series.
+func TestNodeLabelsBounded(t *testing.T) {
+	nodes, _, gwts := startCluster(t, 3)
+	_ = nodes
+
+	hostile := []struct{ path, body string }{
+		{"/v1/run", `{"workload":"evil-label{x=\"1\"}"}`},
+		{"/v1/run", `{"workload":"specint95","seed":1}`},
+		{"/v1/run", `not json at all`},
+		{"/v1/estimate", `{"workload":"` + strings.Repeat("a", 512) + `"}`},
+		{"/v1/run", `{"workload":"specint95","config":{"bogus_field":1}}`},
+	}
+	for _, h := range hostile {
+		resp, err := http.Post(gwts.URL+h.path, "application/json", strings.NewReader(h.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Junk paths never reach a worker; they 404 at the mux.
+	resp, err := http.Get(gwts.URL + "/v1/run/../../etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(gwts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allowedNodes := map[string]bool{"n0": true, "n1": true, "n2": true}
+	allowedEndpoints := map[string]bool{"run": true, "estimate": true}
+	for _, m := range regexp.MustCompile(`node="([^"]*)"`).FindAllStringSubmatch(string(page), -1) {
+		if !allowedNodes[m[1]] {
+			t.Errorf("unbounded node label %q in exposition", m[1])
+		}
+	}
+	for _, m := range regexp.MustCompile(`endpoint="([^"]*)"`).FindAllStringSubmatch(string(page), -1) {
+		if !allowedEndpoints[m[1]] {
+			t.Errorf("unbounded endpoint label %q in exposition", m[1])
+		}
+	}
+	// No client-controlled string may appear as a label value anywhere.
+	if strings.Contains(string(page), "evil-label") || strings.Contains(string(page), strings.Repeat("a", 64)) {
+		t.Error("client-supplied string leaked into the exposition")
+	}
+}

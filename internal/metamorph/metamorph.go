@@ -172,6 +172,11 @@ type Options struct {
 	Workers int
 	// Checks, when non-empty, restricts the run to the named checks.
 	Checks []string
+	// Extra appends caller-supplied checks to the catalog. This is the
+	// extension point for checks that live above this package in the
+	// import graph (cmd/verify's cluster-replay check exercises the HTTP
+	// gateway, which depends on packages that depend on metamorph).
+	Extra []Check
 	// Obs, when non-nil, collects a per-check timing span ("check"/<name>)
 	// alongside the verdict counters the harness always publishes to the
 	// process-wide metric registry.
@@ -287,7 +292,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 
 // selectChecks resolves the catalog subset for the options.
 func selectChecks(opt Options) ([]Check, error) {
-	all := Catalog()
+	all := append(Catalog(), opt.Extra...)
 	if len(opt.Checks) == 0 {
 		if opt.Full {
 			return all, nil

@@ -1,0 +1,277 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sampleKeys generates a deterministic key population (seeded, so every
+// run and every host sees the same keys — the tests below are exact, not
+// statistical).
+func sampleKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg-%016x-%08x", rng.Uint64(), i)
+	}
+	return keys
+}
+
+func poolNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%02d", i)
+	}
+	return names
+}
+
+func mustNew(t *testing.T, nodes []string, opt Options) *Ring {
+	t.Helper()
+	r, err := New(nodes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestConstructionErrors pins the membership validation.
+func TestConstructionErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes []string
+	}{
+		{"empty set", nil},
+		{"empty name", []string{"a", ""}},
+		{"duplicate", []string{"a", "b", "a"}},
+	} {
+		if _, err := New(tc.nodes, Options{}); err == nil {
+			t.Errorf("%s: New accepted %v", tc.name, tc.nodes)
+		}
+	}
+}
+
+// TestRemovalRemapsOnlyVictimKeys is the consistent-hashing contract on
+// the vnode ring: removing one of N nodes moves exactly the keys that
+// node owned and nothing else, and that share is ~K/N.
+func TestRemovalRemapsOnlyVictimKeys(t *testing.T) {
+	const pool, nKeys = 10, 10000
+	nodes := poolNames(pool)
+	keys := sampleKeys(nKeys, 1)
+	full := mustNew(t, nodes, Options{})
+
+	for _, victim := range []int{0, 3, pool - 1} {
+		var rest []string
+		for i, n := range nodes {
+			if i != victim {
+				rest = append(rest, n)
+			}
+		}
+		shrunk := mustNew(t, rest, Options{})
+		moved, onVictim := 0, 0
+		for _, k := range keys {
+			before, after := full.Primary(k), shrunk.Primary(k)
+			if before == nodes[victim] {
+				onVictim++
+				continue
+			}
+			if before != after {
+				moved++
+			}
+		}
+		if moved != 0 {
+			t.Errorf("removing %s moved %d keys that it did not own", nodes[victim], moved)
+		}
+		// The victim's share is ~K/N; allow 2x slack for vnode noise.
+		if lo, hi := nKeys/(2*pool), 2*nKeys/pool; onVictim < lo || onVictim > hi {
+			t.Errorf("victim %s owned %d of %d keys, want within [%d, %d] (~K/N)",
+				nodes[victim], onVictim, nKeys, lo, hi)
+		}
+	}
+}
+
+// TestAdditionRemapsOnlyToNewNode: growing the pool by one node moves
+// ~K/(N+1) keys, and every moved key moves to the new node.
+func TestAdditionRemapsOnlyToNewNode(t *testing.T) {
+	const pool, nKeys = 9, 10000
+	nodes := poolNames(pool)
+	keys := sampleKeys(nKeys, 2)
+	small := mustNew(t, nodes, Options{})
+	grown := mustNew(t, append(poolNames(pool), "node-new"), Options{})
+
+	moved := 0
+	for _, k := range keys {
+		before, after := small.Primary(k), grown.Primary(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "node-new" {
+			t.Fatalf("key %s moved %s -> %s, not to the new node", k, before, after)
+		}
+	}
+	if lo, hi := nKeys/(2*(pool+1)), 2*nKeys/(pool+1); moved < lo || moved > hi {
+		t.Errorf("adding a node moved %d of %d keys, want within [%d, %d] (~K/(N+1))",
+			moved, nKeys, lo, hi)
+	}
+}
+
+// TestRendezvousRemapMinimal pins the same minimal-disruption property on
+// the tiny-pool (rendezvous) path.
+func TestRendezvousRemapMinimal(t *testing.T) {
+	keys := sampleKeys(10000, 3)
+	three := mustNew(t, []string{"a", "b", "c"}, Options{})
+	if !three.Rendezvous() {
+		t.Fatal("3-node pool did not select rendezvous mode")
+	}
+	two := mustNew(t, []string{"a", "b"}, Options{})
+	for _, k := range keys {
+		before, after := three.Primary(k), two.Primary(k)
+		if before != "c" && before != after {
+			t.Fatalf("key %s moved %s -> %s though its node survived", k, before, after)
+		}
+	}
+}
+
+// TestPrimaryDistribution bounds static skew: with the default vnode
+// count, no node's share of 10k keys strays far from uniform.
+func TestPrimaryDistribution(t *testing.T) {
+	const pool, nKeys = 8, 10000
+	r := mustNew(t, poolNames(pool), Options{})
+	counts := map[string]int{}
+	for _, k := range sampleKeys(nKeys, 4) {
+		counts[r.Primary(k)]++
+	}
+	mean := nKeys / pool
+	for node, c := range counts {
+		if c > mean*16/10 || c < mean*4/10 {
+			t.Errorf("node %s holds %d keys, mean %d: vnode distribution too skewed", node, c, mean)
+		}
+	}
+	if len(counts) != pool {
+		t.Errorf("only %d of %d nodes hold keys", len(counts), pool)
+	}
+}
+
+// TestPickBoundedLoadFactor is the bounded-load guarantee: routing 10k
+// keys while counting load keeps every node within ceil(factor * mean),
+// deterministically — not a statistical bound.
+func TestPickBoundedLoadFactor(t *testing.T) {
+	const pool, nKeys = 8, 10000
+	factor := 1.25
+	r := mustNew(t, poolNames(pool), Options{})
+	load := map[string]int{}
+	for _, k := range sampleKeys(nKeys, 5) {
+		n := r.PickBounded(k, func(node string) int { return load[node] }, factor)
+		load[n]++
+	}
+	total := 0
+	for _, c := range load {
+		total += c
+	}
+	if total != nKeys {
+		t.Fatalf("placed %d keys, want %d", total, nKeys)
+	}
+	bound := int(factor*float64(nKeys)/float64(pool)) + 1
+	for node, c := range load {
+		if c > bound {
+			t.Errorf("node %s carries %d keys, bounded-load cap is %d", node, c, bound)
+		}
+	}
+	// Affinity is preserved when balanced: a fresh pass over the same keys
+	// with zero load must give the plain primary.
+	for _, k := range sampleKeys(64, 5) {
+		if got := r.PickBounded(k, func(string) int { return 0 }, factor); got != r.Primary(k) {
+			t.Fatalf("unloaded PickBounded(%s) = %s, want primary %s", k, got, r.Primary(k))
+		}
+	}
+}
+
+// TestSequenceCoversAllNodesOnce: the failover order visits every node
+// exactly once, starting at the primary.
+func TestSequenceCoversAllNodesOnce(t *testing.T) {
+	for _, pool := range []int{2, 3, 5, 9} {
+		r := mustNew(t, poolNames(pool), Options{})
+		for _, k := range sampleKeys(100, 6) {
+			seq := r.Sequence(k)
+			if len(seq) != pool {
+				t.Fatalf("pool %d: sequence has %d entries", pool, len(seq))
+			}
+			if seq[0] != r.Primary(k) {
+				t.Fatalf("pool %d: sequence starts at %s, primary is %s", pool, seq[0], r.Primary(k))
+			}
+			seen := map[string]bool{}
+			for _, n := range seq {
+				if seen[n] {
+					t.Fatalf("pool %d: node %s repeats in sequence %v", pool, n, seq)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossConstruction: two rings built from the same
+// membership in different input orders agree on every assignment — the
+// "restart and nothing moves" contract.
+func TestDeterministicAcrossConstruction(t *testing.T) {
+	nodes := poolNames(7)
+	shuffled := make([]string, len(nodes))
+	copy(shuffled, nodes)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a := mustNew(t, nodes, Options{})
+	b := mustNew(t, shuffled, Options{})
+	for _, k := range sampleKeys(500, 7) {
+		if !reflect.DeepEqual(a.Sequence(k), b.Sequence(k)) {
+			t.Fatalf("sequence for %s differs across construction orders:\n%v\n%v",
+				k, a.Sequence(k), b.Sequence(k))
+		}
+	}
+}
+
+// TestGoldenAssignments pins the exact key→node mapping for both modes.
+// These literals are the cross-restart determinism contract: they must
+// never change without a deliberate placement-version bump (which moves
+// every cached key to a new node and cold-starts the cluster's caches).
+func TestGoldenAssignments(t *testing.T) {
+	ringPool := mustNew(t, []string{"n0", "n1", "n2", "n3", "n4"}, Options{})
+	tinyPool := mustNew(t, []string{"n0", "n1", "n2"}, Options{})
+	if ringPool.Rendezvous() || !tinyPool.Rendezvous() {
+		t.Fatalf("mode selection drifted: 5-node rendezvous=%v, 3-node rendezvous=%v",
+			ringPool.Rendezvous(), tinyPool.Rendezvous())
+	}
+	golden := []struct {
+		key        string
+		ring, tiny string
+	}{
+		{"key-00", "n3", "n0"},
+		{"key-01", "n1", "n2"},
+		{"key-02", "n1", "n2"},
+		{"key-03", "n0", "n2"},
+		{"key-04", "n3", "n2"},
+		{"key-05", "n3", "n2"},
+		{"key-06", "n4", "n0"},
+		{"key-07", "n2", "n0"},
+		{"key-08", "n2", "n1"},
+		{"key-09", "n3", "n0"},
+		{"key-10", "n1", "n0"},
+		{"key-11", "n3", "n2"},
+		{"key-12", "n3", "n0"},
+		{"key-13", "n3", "n0"},
+		{"key-14", "n1", "n2"},
+		{"key-15", "n3", "n0"},
+	}
+	for _, g := range golden {
+		if got := ringPool.Primary(g.key); got != g.ring {
+			t.Errorf("ring mode: Primary(%s) = %s, want %s (placement drifted across versions)",
+				g.key, got, g.ring)
+		}
+		if got := tinyPool.Primary(g.key); got != g.tiny {
+			t.Errorf("rendezvous mode: Primary(%s) = %s, want %s (placement drifted across versions)",
+				g.key, got, g.tiny)
+		}
+	}
+}

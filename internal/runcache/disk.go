@@ -81,6 +81,12 @@ func (c *Cache) loadDisk(id string, key Key) (rep system.Report, ok bool) {
 	return rep, true
 }
 
+// readEntryFile reads one stored envelope verbatim (for EntryBytes; the
+// peer that asked verifies it).
+func readEntryFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
 // storeDisk persists one entry atomically. Failures are recorded but not
 // fatal: the cache degrades to memory-only for that entry.
 func (c *Cache) storeDisk(id string, key Key, rep system.Report) {
@@ -88,12 +94,7 @@ func (c *Cache) storeDisk(id string, key Key, rep system.Report) {
 		return
 	}
 	defer diskWriteSeconds.ObserveSince(time.Now())
-	rb, err := json.Marshal(rep)
-	if err != nil {
-		return
-	}
-	sum := sha256.Sum256(rb)
-	b, err := json.Marshal(diskEntry{Key: key, Sum: hex.EncodeToString(sum[:]), Report: rb})
+	b, err := EncodeEntry(key, rep)
 	if err != nil {
 		return
 	}

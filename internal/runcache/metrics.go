@@ -11,13 +11,15 @@ import (
 // cannot express. Event names mirror Outcome.String() so logs, responses
 // and exposition use one vocabulary.
 var (
-	evMemHit   = cacheEvent("hit")
-	evDiskHit  = cacheEvent("hit-disk")
-	evMiss     = cacheEvent("miss")
-	evShared   = cacheEvent("dedup")
-	evError    = cacheEvent("error")
-	evCorrupt  = cacheEvent("corrupt")
-	evEviction = cacheEvent("eviction")
+	evMemHit      = cacheEvent("hit")
+	evDiskHit     = cacheEvent("hit-disk")
+	evPeerHit     = cacheEvent("hit-peer")
+	evMiss        = cacheEvent("miss")
+	evShared      = cacheEvent("dedup")
+	evError       = cacheEvent("error")
+	evCorrupt     = cacheEvent("corrupt")
+	evPeerCorrupt = cacheEvent("corrupt-peer")
+	evEviction    = cacheEvent("eviction")
 
 	diskReadSeconds = obs.Default().Histogram("sparc64v_runcache_disk_read_seconds",
 		"Wall time of disk-tier entry reads (including checksum verification).", nil)

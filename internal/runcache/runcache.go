@@ -73,6 +73,9 @@ const (
 	OutcomeMiss
 	// OutcomeShared: joined another request's in-flight simulation.
 	OutcomeShared
+	// OutcomeRemoteHit: fetched from a peer node's cache (remote tier)
+	// and persisted locally.
+	OutcomeRemoteHit
 )
 
 // Cached reports whether the outcome avoided running a new simulation in
@@ -90,6 +93,8 @@ func (o Outcome) String() string {
 		return "miss"
 	case OutcomeShared:
 		return "dedup"
+	case OutcomeRemoteHit:
+		return "hit-peer"
 	}
 	return "outcome?"
 }
@@ -109,6 +114,9 @@ type Options struct {
 type Stats struct {
 	// MemoryHits and DiskHits count requests served from each tier.
 	MemoryHits, DiskHits uint64
+	// PeerHits counts requests served from a peer node via the remote
+	// tier (verified, then persisted locally).
+	PeerHits uint64
 	// Misses counts requests that ran a new simulation.
 	Misses uint64
 	// Shared counts requests that joined an in-flight simulation.
@@ -118,6 +126,9 @@ type Stats struct {
 	// Corrupt counts disk entries rejected by the integrity checks
 	// (partial writes, bit flips, key mismatches) and discarded.
 	Corrupt uint64
+	// PeerCorrupt counts remote-tier responses rejected by the same
+	// integrity checks (checksum, key identity) and treated as misses.
+	PeerCorrupt uint64
 	// Evictions counts LRU evictions from the memory tier.
 	Evictions uint64
 	// HitInstructions accumulates the committed instructions of every
@@ -125,8 +136,8 @@ type Stats struct {
 	HitInstructions uint64
 }
 
-// Hits returns the total cache-served requests (both tiers + shared).
-func (s Stats) Hits() uint64 { return s.MemoryHits + s.DiskHits + s.Shared }
+// Hits returns the total cache-served requests (all tiers + shared).
+func (s Stats) Hits() uint64 { return s.MemoryHits + s.DiskHits + s.PeerHits + s.Shared }
 
 // flight is one in-progress simulation that identical concurrent requests
 // attach to.
@@ -136,9 +147,11 @@ type flight struct {
 	err  error
 }
 
-// memEntry is one LRU node.
+// memEntry is one LRU node. The key rides along so the entry can be
+// re-enveloped for a peer (EntryBytes) without a disk round-trip.
 type memEntry struct {
 	id  string
+	key Key
 	rep system.Report
 }
 
@@ -149,6 +162,7 @@ type Cache struct {
 	maxMem int
 
 	mu      sync.Mutex
+	remote  Remote
 	mem     map[string]*lruNode
 	front   *lruNode // most recently used
 	back    *lruNode // least recently used
@@ -224,7 +238,7 @@ func (c *Cache) Get(key Key) (system.Report, bool) {
 	c.mu.Unlock()
 	if rep, ok := c.loadDisk(id, key); ok {
 		c.mu.Lock()
-		c.insert(id, rep)
+		c.insert(id, key, rep)
 		c.stats.DiskHits++
 		c.stats.HitInstructions += rep.Committed
 		c.mu.Unlock()
@@ -247,7 +261,7 @@ func (c *Cache) Put(key Key, rep system.Report) {
 	id := key.ID()
 	c.storeDisk(id, key, rep)
 	c.mu.Lock()
-	c.insert(id, rep)
+	c.insert(id, key, rep)
 	c.stats.Misses++
 	c.mu.Unlock()
 	evMiss.Inc()
@@ -302,12 +316,17 @@ func (c *Cache) GetOrRun(ctx context.Context, key Key, run func(context.Context)
 		c.stats.Errors++
 		evError.Inc()
 	default:
-		c.insert(id, rep)
-		if outcome == OutcomeDiskHit {
+		c.insert(id, key, rep)
+		switch outcome {
+		case OutcomeDiskHit:
 			c.stats.DiskHits++
 			c.stats.HitInstructions += rep.Committed
 			evDiskHit.Inc()
-		} else {
+		case OutcomeRemoteHit:
+			c.stats.PeerHits++
+			c.stats.HitInstructions += rep.Committed
+			evPeerHit.Inc()
+		default:
 			c.stats.Misses++
 			evMiss.Inc()
 		}
@@ -320,11 +339,15 @@ func (c *Cache) GetOrRun(ctx context.Context, key Key, run func(context.Context)
 	return cloneReport(rep), outcome, nil
 }
 
-// lead is the flight leader's path: disk tier first, then the runner. A
-// successful simulation is persisted to disk before the flight completes.
+// lead is the flight leader's path: disk tier first, then the remote
+// (peer) tier, then the runner. A successful simulation is persisted to
+// disk before the flight completes.
 func (c *Cache) lead(ctx context.Context, id string, key Key, run func(context.Context) (system.Report, error)) (system.Report, Outcome, error) {
 	if rep, ok := c.loadDisk(id, key); ok {
 		return rep, OutcomeDiskHit, nil
+	}
+	if rep, ok := c.fetchRemote(ctx, id, key); ok {
+		return rep, OutcomeRemoteHit, nil
 	}
 	t0 := time.Now()
 	rep, err := run(ctx)
@@ -338,13 +361,13 @@ func (c *Cache) lead(ctx context.Context, id string, key Key, run func(context.C
 
 // ---- memory LRU tier (callers hold c.mu) ----
 
-func (c *Cache) insert(id string, rep system.Report) {
+func (c *Cache) insert(id string, key Key, rep system.Report) {
 	if n, ok := c.mem[id]; ok {
 		n.rep = rep
 		c.moveToFront(n)
 		return
 	}
-	n := &lruNode{memEntry: memEntry{id: id, rep: cloneReport(rep)}}
+	n := &lruNode{memEntry: memEntry{id: id, key: key, rep: cloneReport(rep)}}
 	c.mem[id] = n
 	c.pushFront(n)
 	c.n++

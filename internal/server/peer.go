@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"sparc64v/internal/obs"
+	"sparc64v/internal/runcache"
+)
+
+// The peer-cache protocol is the cluster's shared-cache tier: when a
+// node's memory and disk tiers miss, it asks its peers for the entry
+// before paying for a simulation, so any one node's cached result serves
+// the whole pool. Two sides:
+//
+//   - serving: GET /v1/cache/{id} answers from local tiers only — never
+//     from this node's own remote tier (no fetch recursion) and never by
+//     simulating, so a peer probe is always cheap and loop-free;
+//   - fetching: PeerFetcher implements runcache.Remote over HTTP. The
+//     response bytes are untrusted; the cache re-verifies key identity
+//     and checksum before using them (internal/runcache DecodeEntry),
+//     so a corrupted or malicious peer can cost a rejected fetch, never
+//     a wrong result.
+
+// entryIDPattern is a content address: 64 hex chars (SHA-256).
+var entryIDPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// maxPeerEntryBytes bounds a peer response; a system.Report envelope is
+// a few KB even at 64 CPUs, so 16 MiB is generous headroom, not a limit
+// anyone should meet.
+const maxPeerEntryBytes = 16 << 20
+
+// defaultPeerTimeout bounds one peer's lookup; a peer that cannot answer
+// a local-tier probe this fast is effectively down, and simulating is
+// always the fallback.
+const defaultPeerTimeout = 5 * time.Second
+
+// handleCacheEntry serves GET /v1/cache/{id}: the raw entry envelope for
+// a content address, or 404. Local tiers only.
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	outcome := func(o string) *obs.Counter {
+		return s.reg.Counter("sparc64v_server_peer_requests_total",
+			"Peer cache-entry lookups served, by outcome.", obs.L("outcome", o))
+	}
+	id := r.PathValue("id")
+	if !entryIDPattern.MatchString(id) {
+		outcome("bad_id").Inc()
+		httpError(w, http.StatusBadRequest, "malformed entry id")
+		return
+	}
+	b, ok := s.cache.EntryBytes(id)
+	if !ok {
+		outcome("miss").Inc()
+		httpError(w, http.StatusNotFound, "no entry")
+		return
+	}
+	outcome("hit").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// PeerFetcher asks peer nodes for cache entries over HTTP; it implements
+// runcache.Remote. Peers are tried in configured order until one answers
+// 200; 404 and transport errors fall through to the next peer. The
+// returned bytes are verified by the cache, not here.
+type PeerFetcher struct {
+	client  *http.Client
+	reg     *obs.Registry
+	timeout time.Duration
+
+	mu    sync.RWMutex
+	peers []string
+
+	fetchSeconds *obs.Histogram
+}
+
+// NewPeerFetcher builds a fetcher over the peer base URLs (scheme://
+// host:port, no trailing slash required). client nil means a dedicated
+// client with the default peer timeout; reg nil means obs.Default().
+func NewPeerFetcher(peers []string, client *http.Client, reg *obs.Registry) *PeerFetcher {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if client == nil {
+		client = &http.Client{Timeout: defaultPeerTimeout}
+	}
+	f := &PeerFetcher{
+		client:  client,
+		reg:     reg,
+		timeout: defaultPeerTimeout,
+		fetchSeconds: reg.Histogram("sparc64v_peer_fetch_seconds",
+			"Wall time of peer cache-entry fetch attempts (per peer tried).", nil),
+	}
+	f.SetPeers(peers)
+	return f
+}
+
+// SetPeers replaces the peer list (cluster membership changes; tests
+// that learn listener addresses after construction).
+func (f *PeerFetcher) SetPeers(peers []string) {
+	cleaned := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			cleaned = append(cleaned, p)
+		}
+	}
+	f.mu.Lock()
+	f.peers = cleaned
+	f.mu.Unlock()
+}
+
+// Peers returns the configured peer list (a copy).
+func (f *PeerFetcher) Peers() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, len(f.peers))
+	copy(out, f.peers)
+	return out
+}
+
+// Fetch implements runcache.Remote: first peer with a 200 wins.
+func (f *PeerFetcher) Fetch(ctx context.Context, key runcache.Key) ([]byte, bool) {
+	outcome := func(o string) *obs.Counter {
+		return f.reg.Counter("sparc64v_peer_fetch_total",
+			"Peer cache-entry fetch attempts, by outcome.", obs.L("outcome", o))
+	}
+	id := key.ID()
+	for _, peer := range f.Peers() {
+		b, ok := f.fetchOne(ctx, peer, id, outcome)
+		if ok {
+			return b, true
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// fetchOne probes a single peer.
+func (f *PeerFetcher) fetchOne(ctx context.Context, peer, id string, outcome func(string) *obs.Counter) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	defer f.fetchSeconds.ObserveSince(time.Now())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+id, nil)
+	if err != nil {
+		outcome("error").Inc()
+		return nil, false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		outcome("error").Inc()
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		outcome("miss").Inc()
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEntryBytes+1))
+	if err != nil || len(b) > maxPeerEntryBytes {
+		outcome("error").Inc()
+		return nil, false
+	}
+	outcome("hit").Inc()
+	return b, true
+}

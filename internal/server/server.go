@@ -60,6 +60,18 @@ type Config struct {
 	// the production service also exposes the sched/runcache/metamorph
 	// series. Tests pass a fresh registry for deterministic output.
 	Registry *obs.Registry
+	// NodeID names this node in a cluster; when set it is echoed as the
+	// X-Node header on every response so the gateway (and operators) can
+	// attribute work. Empty means single-node operation.
+	NodeID string
+	// Peers lists peer node base URLs for the shared-cache protocol;
+	// when non-empty the run cache gains a remote tier that consults
+	// them (GET /v1/cache/{id}) before simulating a miss.
+	Peers []string
+	// PeerClient overrides the HTTP client peer fetches use (tests;
+	// custom timeouts). nil means a dedicated client with the default
+	// peer timeout.
+	PeerClient *http.Client
 }
 
 // Server implements the HTTP handlers. Construct with New; serve
@@ -71,6 +83,14 @@ type Server struct {
 	workers      int
 	maxQueue     int
 	defaultInsts int
+
+	// nodeID is the cluster identity; draining flips when a graceful
+	// shutdown starts, turning /healthz into a drain signal and shedding
+	// new runs with 503 so the gateway fails them over.
+	nodeID      string
+	draining    atomic.Bool
+	peerClient  *http.Client
+	peerFetcher *PeerFetcher
 
 	// queue holds every admitted simulation (waiting or running); cap
 	// workers+maxQueue. working holds running simulations; cap workers.
@@ -135,6 +155,8 @@ func New(c Config) (*Server, error) {
 		workers:      c.Workers,
 		maxQueue:     c.MaxQueue,
 		defaultInsts: c.DefaultInsts,
+		nodeID:       c.NodeID,
+		peerClient:   c.PeerClient,
 		queue:        make(chan struct{}, c.Workers+c.MaxQueue),
 		working:      make(chan struct{}, c.Workers),
 		reg:          c.Registry,
@@ -151,10 +173,26 @@ func New(c Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/studies/{id}", s.handleStudy)
+	mux.HandleFunc("GET /v1/cache/{id}", s.handleCacheEntry)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
+	if len(c.Peers) > 0 {
+		s.SetPeers(c.Peers)
+	}
 	return s, nil
+}
+
+// SetPeers installs (or replaces) the peer list of the shared-cache
+// remote tier. Tests and dynamic-membership callers use it when peer
+// addresses are only known after construction.
+func (s *Server) SetPeers(peers []string) {
+	if s.peerFetcher == nil {
+		s.peerFetcher = NewPeerFetcher(peers, s.peerClient, s.reg)
+		s.cache.SetRemote(s.peerFetcher)
+		return
+	}
+	s.peerFetcher.SetPeers(peers)
 }
 
 // Handler returns the service's root handler: the route mux wrapped in the
@@ -162,6 +200,9 @@ func New(c Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := s.now()
+		if s.nodeID != "" {
+			w.Header().Set("X-Node", s.nodeID)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(sw, r)
 		code := sw.code
@@ -208,6 +249,8 @@ func endpointLabel(path string) string {
 		return "estimate"
 	case strings.HasPrefix(path, "/v1/studies/"):
 		return "study"
+	case strings.HasPrefix(path, "/v1/cache/"):
+		return "cache"
 	case path == "/healthz":
 		return "healthz"
 	case path == "/metrics":
@@ -218,8 +261,17 @@ func endpointLabel(path string) string {
 
 // DrainStarted records the beginning of a graceful shutdown; cmd/simd
 // calls it when the stop signal arrives, so post-drain scrapes (and the
-// final stderr report) show the drain happened.
-func (s *Server) DrainStarted() { s.drains.Inc() }
+// final stderr report) show the drain happened. From this point /healthz
+// answers 503 and new /v1/run requests are shed with 503 "draining";
+// in-flight runs, cache serving, estimates and metrics keep working so
+// the node drains without losing accepted work.
+func (s *Server) DrainStarted() {
+	s.draining.Store(true)
+	s.drains.Inc()
+}
+
+// Draining reports whether a graceful shutdown has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // admit reserves capacity for one simulation. It returns ErrOverloaded
 // immediately when the queue is full, otherwise blocks until a worker slot
@@ -268,21 +320,34 @@ type RunResponse struct {
 	Stats system.Summary `json:"stats"`
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.runRequests.Add(1)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req RunRequest
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
+// ResolvedRun is a RunRequest resolved against a base configuration: the
+// model to run, the workload profile, the effective options, and the
+// content address the result is cached under. The gateway resolves
+// requests with the same code path the worker executes, so both sides
+// agree byte-for-byte on every request's placement key.
+type ResolvedRun struct {
+	Model   *core.Model
+	Profile workload.Profile
+	Opt     core.RunOptions
+	Key     runcache.Key
+}
+
+// ResolveRun validates req against base and computes its cache key.
+// defaultInsts fills an absent insts field (<= 0 means the server
+// default of 1,000,000). Every error is a client error (HTTP 400).
+func ResolveRun(base config.Config, defaultInsts int, req RunRequest) (ResolvedRun, error) {
+	var rr ResolvedRun
+	if base.Name == "" {
+		base = config.Base()
+	}
+	if defaultInsts <= 0 {
+		defaultInsts = 1_000_000
 	}
 	prof, ok := workload.ByName(req.Workload)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown workload %q (have %v)", req.Workload, workload.Names())
-		return
+		return rr, fmt.Errorf("unknown workload %q (have %v)", req.Workload, workload.Names())
 	}
-	cfg := s.base
+	cfg := base
 	if len(req.Config) > 0 {
 		// Same strict overlay semantics as sparc64sim -config: present
 		// fields override, unknown fields are rejected, the result is
@@ -290,8 +355,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		var err error
 		cfg, err = config.OverlayJSON(cfg, bytes.NewReader(req.Config))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad config overlay: %v", err)
-			return
+			return rr, fmt.Errorf("bad config overlay: %w", err)
 		}
 	}
 	switch {
@@ -303,8 +367,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		cfg = cfg.WithCPUs(16)
 	}
 	if req.Insts < 0 {
-		httpError(w, http.StatusBadRequest, "insts must be >= 0")
-		return
+		return rr, fmt.Errorf("insts must be >= 0")
 	}
 	opt := core.RunOptions{
 		Insts:  req.Insts,
@@ -315,37 +378,57 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Workers: 1,
 	}
 	if opt.Insts == 0 {
-		opt.Insts = s.defaultInsts
+		opt.Insts = defaultInsts
 	}
 	if req.Sampling != nil {
 		if err := req.Sampling.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, "bad sampling: %v", err)
-			return
+			return rr, fmt.Errorf("bad sampling: %w", err)
 		}
 		opt.Sample = *req.Sampling
 	}
 	m, err := core.NewModel(cfg)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad configuration: %v", err)
-		return
+		return rr, fmt.Errorf("bad configuration: %w", err)
 	}
 	key, err := m.RunKey(prof, opt)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "hash run: %v", err)
+		return rr, fmt.Errorf("hash run: %w", err)
+	}
+	return ResolvedRun{Model: m, Profile: prof, Opt: opt, Key: key}, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.runRequests.Add(1)
+	if s.draining.Load() {
+		// A draining node finishes in-flight work but takes no new runs;
+		// 503 tells the gateway to fail over to the next replica.
+		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	rep, outcome, err := s.cache.GetOrRun(r.Context(), key, func(ctx context.Context) (system.Report, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rr, err := ResolveRun(s.base, s.defaultInsts, req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, outcome, err := s.cache.GetOrRun(r.Context(), rr.Key, func(ctx context.Context) (system.Report, error) {
 		release, err := s.admit(ctx)
 		if err != nil {
 			return system.Report{}, err
 		}
 		defer release()
-		return s.simulate(ctx, m, prof, opt)
+		return s.simulate(ctx, rr.Model, rr.Profile, rr.Opt)
 	})
 	if err == nil {
 		s.reg.Counter("sparc64v_server_runs_total",
 			"Completed /v1/run requests, by workload and cache outcome.",
-			obs.L("workload", prof.Name), obs.L("outcome", outcome.String())).Inc()
+			obs.L("workload", rr.Profile.Name), obs.L("outcome", outcome.String())).Inc()
 	}
 	if err != nil {
 		switch {
@@ -359,7 +442,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Model-Version", core.ModelVersion)
-	writeJSON(w, RunResponse{Key: key.ID(), Cache: outcome.String(), Stats: rep.Summary()})
+	w.Header().Set("X-Cache", outcome.String())
+	writeJSON(w, RunResponse{Key: rr.Key.ID(), Cache: outcome.String(), Stats: rep.Summary()})
 }
 
 // EstimateRequest is the POST /v1/estimate body: the same workload naming
@@ -528,6 +612,11 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Smoke-test the distributed tier end to end: boot three simd workers
+# with meshed peer caches, put a simgw gateway in front, run a 4-config
+# sweep through the gateway twice, and prove via the gateway's /metrics
+# that the warm pass ran zero simulations — every repeat was served from
+# a cluster cache tier. Finishes by draining one worker and showing the
+# pool stays available. Used by `make cluster-smoke` and the CI job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GW_ADDR="${CLUSTER_SMOKE_GW:-127.0.0.1:18970}"
+W0_ADDR="${CLUSTER_SMOKE_W0:-127.0.0.1:18971}"
+W1_ADDR="${CLUSTER_SMOKE_W1:-127.0.0.1:18972}"
+W2_ADDR="${CLUSTER_SMOKE_W2:-127.0.0.1:18973}"
+DIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -INT "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+go build -o "$DIR/simd" ./cmd/simd
+go build -o "$DIR/simgw" ./cmd/simgw
+
+start_worker() { # node-id addr peer-addr peer-addr
+  "$DIR/simd" -addr "$2" -node-id "$1" -workers 2 \
+    -peers "http://$3,http://$4" 2>"$DIR/$1.log" &
+  PIDS+=($!)
+}
+start_worker n0 "$W0_ADDR" "$W1_ADDR" "$W2_ADDR"
+start_worker n1 "$W1_ADDR" "$W0_ADDR" "$W2_ADDR"
+start_worker n2 "$W2_ADDR" "$W0_ADDR" "$W1_ADDR"
+
+"$DIR/simgw" -addr "$GW_ADDR" -health-every 250ms \
+  -workers "n0=http://$W0_ADDR,n1=http://$W1_ADDR,n2=http://$W2_ADDR" \
+  2>"$DIR/simgw.log" &
+PIDS+=($!)
+
+wait_healthy() { # addr
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "cluster-smoke: $1 never became healthy" >&2
+  cat "$DIR"/*.log >&2
+  return 1
+}
+for addr in "$W0_ADDR" "$W1_ADDR" "$W2_ADDR" "$GW_ADDR"; do
+  wait_healthy "$addr"
+done
+
+SWEEP=(
+  '{"workload":"specint95","insts":50000,"seed":7}'
+  '{"workload":"specint95","insts":50000,"seed":8}'
+  '{"workload":"specfp95","insts":50000,"seed":7}'
+  '{"workload":"specint2000","insts":50000,"seed":7}'
+)
+
+# Cold pass: every config simulates somewhere in the pool.
+COLD=()
+for body in "${SWEEP[@]}"; do
+  COLD+=("$(curl -fsS -d "$body" "http://$GW_ADDR/v1/run")")
+done
+
+misses="$(curl -fsS "http://$GW_ADDR/metrics" \
+  | sed -n 's/^sparc64v_gateway_cache_outcomes_total{outcome="miss"} //p')"
+if [ "$misses" != "${#SWEEP[@]}" ]; then
+  echo "cluster-smoke: cold pass ran $misses simulations, want ${#SWEEP[@]}" >&2
+  exit 1
+fi
+
+# Warm pass: zero simulations cluster-wide; responses byte-identical to
+# the cold pass apart from the cache marker.
+for i in "${!SWEEP[@]}"; do
+  WARM="$(curl -fsS -d "${SWEEP[$i]}" "http://$GW_ADDR/v1/run")"
+  echo "$WARM" | grep -q '"cache": "hit' || {
+    echo "cluster-smoke: warm run was not a cache hit: $WARM" >&2; exit 1
+  }
+  if [ "$(echo "${COLD[$i]}" | grep -v '"cache"')" != "$(echo "$WARM" | grep -v '"cache"')" ]; then
+    echo "cluster-smoke: warm response differs from cold response for ${SWEEP[$i]}" >&2
+    exit 1
+  fi
+done
+
+METRICS="$(curl -fsS "http://$GW_ADDR/metrics")"
+misses="$(echo "$METRICS" | sed -n 's/^sparc64v_gateway_cache_outcomes_total{outcome="miss"} //p')"
+if [ "$misses" != "${#SWEEP[@]}" ]; then
+  echo "cluster-smoke: warm pass simulated (misses $misses > ${#SWEEP[@]})" >&2
+  echo "$METRICS" >&2
+  exit 1
+fi
+hits="$(echo "$METRICS" \
+  | sed -n 's/^sparc64v_gateway_cache_outcomes_total{outcome="hit\(-[a-z]*\)\?"} //p' \
+  | awk '{s+=$1} END {print s}')"
+if [ "$hits" -lt "${#SWEEP[@]}" ]; then
+  echo "cluster-smoke: gateway saw only $hits cluster-wide cache hits, want >= ${#SWEEP[@]}" >&2
+  echo "$METRICS" >&2
+  exit 1
+fi
+echo "$METRICS" | grep -qx 'sparc64v_gateway_healthy_workers 3' || {
+  echo "cluster-smoke: gateway does not see 3 healthy workers" >&2
+  echo "$METRICS" >&2
+  exit 1
+}
+
+# Drain one worker: its /healthz flips to 503, the gateway notices, and
+# the pool keeps answering (from cache, and with capacity to simulate).
+kill -INT "${PIDS[0]}"
+wait "${PIDS[0]}" 2>/dev/null || true
+PIDS[0]=""
+for _ in $(seq 1 100); do
+  healthy="$(curl -fsS "http://$GW_ADDR/metrics" \
+    | sed -n 's/^sparc64v_gateway_healthy_workers //p')"
+  [ "$healthy" = 2 ] && break
+  sleep 0.1
+done
+[ "$healthy" = 2 ] || { echo "cluster-smoke: gateway never noticed the drained worker" >&2; exit 1; }
+
+POST_DRAIN="$(curl -fsS -d "${SWEEP[0]}" "http://$GW_ADDR/v1/run")"
+if [ "$(echo "${COLD[0]}" | grep -v '"cache"')" != "$(echo "$POST_DRAIN" | grep -v '"cache"')" ]; then
+  echo "cluster-smoke: post-drain response differs from cold response" >&2
+  exit 1
+fi
+
+echo "cluster-smoke: OK (cold sweep simulated ${#SWEEP[@]}x, warm sweep 0x, cluster-wide hits visible at the gateway, drain survived)"
