@@ -7,7 +7,7 @@ INSTS ?= 1000000
 # with unchanged config+workload+seed+model are served without simulating.
 CACHE_DIR ?= .simcache
 
-.PHONY: build test race bench benchdiff bench-baseline sampling-speedup sweep accuracy serve smoke cluster-smoke verify verify-quick clean
+.PHONY: build test race bench benchdiff bench-baseline sampling-speedup sweep accuracy serve smoke cluster-smoke verify verify-quick litmus clean
 
 build:
 	$(GO) build ./...
@@ -70,15 +70,22 @@ cluster-smoke:
 	./scripts/cluster_smoke.sh
 
 # Metamorphic cross-verification harness (internal/metamorph, cmd/verify):
-# monotonicity, conservation, and differential invariants over the model.
-# verify-quick is the CI merge gate and writes the machine-readable verdict
-# report CI uploads as an artifact; verify runs the whole catalog on every
-# workload. See DESIGN.md "Verification".
+# monotonicity, conservation, differential and TSO-conformance invariants
+# over the model. verify-quick is the CI merge gate (litmus sweeps at 32
+# seeds per shape) and writes the machine-readable verdict report CI
+# uploads as an artifact; verify runs the whole catalog on every workload
+# with litmus sweeps doubled to 64 seeds. See DESIGN.md "Verification" and
+# "Memory-ordering verification".
 verify-quick:
 	$(GO) run ./cmd/verify -quick -json verify-report.json
 
 verify:
 	$(GO) run ./cmd/verify -full -json verify-report.json
+
+# TSO litmus sweeps with the outcome histograms on stdout (the same
+# machinery the tso-outcomes verify check gates on).
+litmus:
+	$(GO) run ./cmd/sparc64sim -litmus all
 
 clean:
 	$(GO) clean ./...

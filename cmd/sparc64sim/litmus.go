@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparc64v/internal/litmus"
+	"sparc64v/internal/stats"
+)
+
+// runLitmus sweeps one litmus shape (or "all") and prints the outcome
+// histogram with the TSO verdict. Exits non-zero if any sweep observes a
+// forbidden outcome, misses a required witness, or cannot run.
+func runLitmus(name string, seeds int, seed int64, cpus, workers int, jsonOut bool) {
+	var tests []litmus.Test
+	if name == "all" {
+		tests = litmus.Tests()
+	} else {
+		t, ok := litmus.ByName(name)
+		if !ok {
+			fatal("unknown -litmus %q (have all, %s)", name, strings.Join(litmus.Names(), ", "))
+		}
+		tests = []litmus.Test{t}
+	}
+	cfg := litmus.BaseConfig()
+	clean := true
+	var results []litmus.SweepResult
+	for _, t := range tests {
+		sr, err := litmus.Sweep(context.Background(), t, cfg, litmus.Options{
+			Seeds:    seeds,
+			BaseSeed: seed,
+			CPUs:     cpus,
+			Workers:  workers,
+		})
+		if err != nil {
+			fatal("litmus %s: %v", t.Name, err)
+		}
+		results = append(results, sr)
+		if !sr.OK() {
+			clean = false
+		}
+		if !jsonOut {
+			printSweep(t, &sr)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if !clean {
+		os.Exit(1)
+	}
+}
+
+// printSweep renders one sweep's histogram and verdict.
+func printSweep(t litmus.Test, sr *litmus.SweepResult) {
+	fmt.Printf("%s: %s\n", t.Name, t.Doc)
+	tbl := stats.NewTable(fmt.Sprintf("%s / %d cpus / %d seeds", sr.Test, sr.CPUs, sr.Seeds),
+		"outcome", "count", "tso")
+	for _, oc := range sr.Outcomes {
+		verdict := "allowed"
+		if !oc.Allowed {
+			verdict = "FORBIDDEN"
+		}
+		tbl.AddRow(oc.Outcome, oc.Count, verdict)
+	}
+	fmt.Print(tbl.String())
+	switch {
+	case len(sr.Forbidden) > 0:
+		fmt.Printf("FAIL: %d TSO-forbidden observations: %s\n",
+			len(sr.Forbidden), strings.Join(sr.Forbidden, "; "))
+	case len(sr.WitnessMissing) > 0:
+		fmt.Printf("FAIL: required witness never observed: %s\n",
+			strings.Join(sr.WitnessMissing, "; "))
+	default:
+		fmt.Println("PASS: all outcomes TSO-allowed, witnesses observed")
+	}
+	fmt.Println()
+}

@@ -7,6 +7,8 @@
 //	sparc64sim -workload specint95 -issue 2 -breakdown
 //	sparc64sim -workload tpcc16p -cpus 16 -l2 off.8m-1w
 //	sparc64sim -trace trace.s64v
+//	sparc64sim -litmus sb               # TSO litmus sweep with verdict
+//	sparc64sim -litmus all -cpus 4      # whole catalog, padded machine
 package main
 
 import (
@@ -37,12 +39,23 @@ func main() {
 		oneRS        = flag.Bool("1rs", false, "fused single reservation station per unit class")
 		breakdown    = flag.Bool("breakdown", false, "run the Figure 7 perfect-ization breakdown")
 		sample       = flag.String("sample", "", "sampled simulation: off|auto|interval=N,warmup=N,measure=N[,offset=N]")
+		litmusName   = flag.String("litmus", "", "run a TSO litmus sweep instead of a workload: shape name or \"all\"")
+		litmusSeeds  = flag.Int("litmus-seeds", 32, "seeds per litmus sweep")
+		workers      = flag.Int("workers", 0, "parallel litmus runs (0 = GOMAXPROCS)")
 		verbose      = flag.Bool("v", false, "print per-CPU detail")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
 		configFile   = flag.String("config", "", "JSON config overlay applied on top of the preset")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 	)
 	flag.Parse()
+
+	if *litmusName != "" {
+		// Litmus sweeps use their own dedicated machine (litmus.BaseConfig):
+		// -cpus pads the machine with bystander chips, -seed offsets the
+		// per-run seeds.
+		runLitmus(*litmusName, *litmusSeeds, *seed, *cpus, *workers, *jsonOut)
+		return
+	}
 
 	cfg := config.Base()
 	if *issue != 4 {

@@ -7,6 +7,7 @@
 //	verify -full             # whole catalog on every workload
 //	verify -json report.json # machine-readable verdicts ("-" for stdout)
 //	verify -inject l1index   # plant a model bug; the run must FAIL
+//	verify -inject dropinval -checks tso-outcomes  # TSO harness self-test
 //
 // Exit status: 0 all checks passed, 1 at least one invariant violated,
 // 2 the harness itself could not run.
@@ -17,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,17 +26,33 @@ import (
 	"time"
 
 	"sparc64v/internal/cache"
+	"sparc64v/internal/coherence"
 	"sparc64v/internal/core"
 	"sparc64v/internal/metamorph"
 	"sparc64v/internal/obs"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+// injectFault arms the named fault at whichever injection point owns it:
+// cache faults (l1index) and coherence faults (dropinval) share the flag.
+func injectFault(name string) bool {
+	if f, ok := cache.FaultByName(name); ok {
+		cache.InjectFault(f)
+		return true
+	}
+	if f, ok := coherence.FaultByName(name); ok {
+		coherence.InjectFault(f)
+		return true
+	}
+	return false
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "quick CI gate (default unless -full)")
 	full := fs.Bool("full", false, "full catalog on every workload")
 	seed := fs.Int64("seed", 42, "trace window seed")
@@ -42,21 +60,21 @@ func run() int {
 	workers := fs.Int("workers", 0, "concurrent checks (0 = GOMAXPROCS)")
 	jsonOut := fs.String("json", "", "write the JSON verdict report to this file (\"-\" = stdout)")
 	checks := fs.String("checks", "", "comma-separated check subset (default: whole mode catalog)")
-	inject := fs.String("inject", "", "inject a model fault (l1index) — the harness must catch it")
+	inject := fs.String("inject", "", "inject a model fault (l1index, dropinval) — the harness must catch it")
 	profile := fs.String("profile", "", "write a JSON timing+counter profile of every check and run to this file")
 	timeout := fs.Duration("timeout", 15*time.Minute, "abort the run after this long")
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *quick && *full {
-		fmt.Fprintln(os.Stderr, "verify: -quick and -full are mutually exclusive")
+		fmt.Fprintln(stderr, "verify: -quick and -full are mutually exclusive")
 		return 2
 	}
-	fault, ok := cache.FaultByName(*inject)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "verify: unknown fault %q (have: l1index)\n", *inject)
+	if !injectFault(*inject) {
+		fmt.Fprintf(stderr, "verify: unknown fault %q (have: l1index, dropinval)\n", *inject)
 		return 2
 	}
-	cache.InjectFault(fault)
 
 	opt := metamorph.Options{
 		Full:    *full,
@@ -86,25 +104,25 @@ func run() int {
 
 	rep, err := metamorph.Run(ctx, opt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		fmt.Fprintf(stderr, "verify: %v\n", err)
 		return 2
 	}
-	printReport(&rep)
+	printReport(stdout, &rep)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, &rep); err != nil {
-			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			fmt.Fprintf(stderr, "verify: %v\n", err)
 			return 2
 		}
 	}
 	if *profile != "" {
 		if err := opt.Obs.WriteProfileFile(*profile); err != nil {
-			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			fmt.Fprintf(stderr, "verify: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "verify: wrote check profiles to %s\n", *profile)
+		fmt.Fprintf(stderr, "verify: wrote check profiles to %s\n", *profile)
 	}
 	if ctx.Err() != nil {
-		fmt.Fprintf(os.Stderr, "verify: aborted: %v\n", ctx.Err())
+		fmt.Fprintf(stderr, "verify: aborted: %v\n", ctx.Err())
 		return 2
 	}
 	switch {
@@ -117,20 +135,20 @@ func run() int {
 }
 
 // printReport renders the human-readable verdict table.
-func printReport(rep *metamorph.Report) {
-	fmt.Printf("model %s  mode=%s  seed=%d  insts=%d  workloads=%s",
+func printReport(w io.Writer, rep *metamorph.Report) {
+	fmt.Fprintf(w, "model %s  mode=%s  seed=%d  insts=%d  workloads=%s",
 		core.ModelVersion, rep.Mode, rep.Seed, rep.Insts,
 		strings.Join(rep.Workloads, ","))
 	if rep.Fault != "none" {
-		fmt.Printf("  INJECTED FAULT=%s", rep.Fault)
+		fmt.Fprintf(w, "  INJECTED FAULT=%s", rep.Fault)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, v := range rep.Verdicts {
-		fmt.Printf("%-5s %-22s %-13s %6.1fs  %s\n",
+		fmt.Fprintf(w, "%-5s %-22s %-13s %6.1fs  %s\n",
 			strings.ToUpper(v.Status), v.Check, v.Kind,
 			float64(v.ElapsedMS)/1000, v.Detail)
 	}
-	fmt.Printf("%d checks: %d pass, %d fail, %d errors in %.1fs\n",
+	fmt.Fprintf(w, "%d checks: %d pass, %d fail, %d errors in %.1fs\n",
 		len(rep.Verdicts), rep.Pass, rep.Fail, rep.Errors,
 		float64(rep.ElapsedMS)/1000)
 }

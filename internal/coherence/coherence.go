@@ -50,6 +50,11 @@ type Controller struct {
 	dram   *mem.DRAM
 	p      config.MemParams
 	timing bool // Fidelity.CoherenceTiming
+
+	// Injected-fault state, sampled at construction (see fault.go).
+	fault     Fault
+	dropCount uint64
+
 	// Stats is exported for reporting.
 	Stats Stats
 }
@@ -57,7 +62,8 @@ type Controller struct {
 // NewController builds the engine. chips may be populated later via
 // AttachChip (the chips need the controller to construct themselves).
 func NewController(p config.MemParams, bus *mem.Bus, dram *mem.DRAM, coherenceTiming bool) *Controller {
-	return &Controller{bus: bus, dram: dram, p: p, timing: coherenceTiming}
+	return &Controller{bus: bus, dram: dram, p: p, timing: coherenceTiming,
+		fault: injected}
 }
 
 // AttachChip registers a chip and returns its identifier.
@@ -118,6 +124,9 @@ func (c *Controller) FetchLine(req int, addr uint64, exclusive bool, cycle uint6
 				continue
 			}
 			if ch.Probe(addr) != cache.Invalid {
+				if c.dropInvalidate() {
+					continue
+				}
 				ch.InvalidateLine(addr)
 				c.Stats.Invalidations++
 			}
@@ -152,6 +161,9 @@ func (c *Controller) Upgrade(req int, addr uint64, cycle uint64) uint64 {
 			continue
 		}
 		if ch.Probe(addr) != cache.Invalid {
+			if c.dropInvalidate() {
+				continue
+			}
 			ch.InvalidateLine(addr)
 			c.Stats.Invalidations++
 		}

@@ -38,6 +38,10 @@ type ChipMem struct {
 	pf           *cache.Prefetcher
 	l2Port       mem.Resource
 
+	// Observer, when non-nil, is notified of snoop invalidations hitting
+	// this chip (see MemObserver). Set before the first Tick.
+	Observer MemObserver
+
 	// Stats
 	TLBStallCycles  uint64
 	UpgradeRequests uint64
@@ -370,6 +374,9 @@ func (m *ChipMem) Downgrade(addr uint64, st cache.State) {
 
 // InvalidateLine removes the line everywhere on the chip.
 func (m *ChipMem) InvalidateLine(addr uint64) {
+	if m.Observer != nil {
+		m.Observer.LineInvalidated(m.id, addr)
+	}
 	m.L2.Invalidate(addr)
 	m.L1D.Invalidate(addr)
 	m.L1I.Invalidate(addr)

@@ -222,6 +222,10 @@ type CPU struct {
 
 	pipeTracer func(*PipeEvent)
 
+	// Observer, when non-nil, receives load/store/snoop events (see
+	// MemObserver). Set before the first Tick; never mid-run.
+	Observer MemObserver
+
 	warmupLeft uint64
 	// Stats is the exported counter block.
 	Stats Stats
@@ -412,6 +416,9 @@ func (c *CPU) commit(cycle uint64) {
 				Complete: e.completeCycle, Commit: cycle,
 				Cancels: int(e.cancels), Mispredict: e.mispredict,
 			})
+		}
+		if c.Observer != nil && e.isLoad() {
+			c.Observer.LoadCommit(c.id, e.seq, &e.rec)
 		}
 		c.releaseRename(e)
 		if c.serializeSeq == e.seq+1 {

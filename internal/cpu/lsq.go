@@ -48,6 +48,9 @@ func (c *CPU) lsqTick(cycle uint64) {
 				e.completeCycle = ready
 				e.fwdCycle = ready + 1
 				c.Stats.StoreForwards++
+				if c.Observer != nil {
+					c.Observer.LoadAccess(c.id, e.seq, &e.rec, true)
+				}
 				continue
 			} else if wait {
 				continue // overlapping store's data not captured yet
@@ -63,6 +66,9 @@ func (c *CPU) lsqTick(cycle uint64) {
 		ports--
 		e.accessed = true
 		e.completeCycle = res.Ready
+		if c.Observer != nil {
+			c.Observer.LoadAccess(c.id, e.seq, &e.rec, false)
+		}
 		if !c.specDispatch {
 			// Conservative machine: consumers dispatch only after the data
 			// is confirmed valid, paying the dispatch-to-execute depth on
@@ -101,6 +107,9 @@ func (c *CPU) lsqTick(cycle uint64) {
 		c.popDrain()
 		c.sqCount--
 		c.Stats.StoresDrained++
+		if c.Observer != nil {
+			c.Observer.StoreDrained(c.id, d.addr, d.size)
+		}
 	}
 }
 

@@ -1,0 +1,35 @@
+package cpu
+
+import "sparc64v/internal/trace"
+
+// MemObserver receives the memory-ordering-relevant events of one chip's
+// core and cache hierarchy: load accesses and commits, committed-store
+// drains (the point a store becomes globally visible on this model), and
+// snoop invalidations arriving from other chips. The litmus harness
+// (internal/litmus) implements it to reconstruct observed load values on a
+// timing-only model whose trace records carry no data.
+//
+// Observers are strictly passive — every hook fires after the model has
+// made its decision, and a nil observer costs one predictable branch per
+// event. The simulation ticks CPUs sequentially, so a single observer may
+// be shared across all CPUs and chips of a System without locking.
+//
+// Trust boundary: LineInvalidated covers snoop invalidations only
+// (coherence traffic). L2-capacity back-invalidations (ChipMem.fillL2) are
+// NOT reported; workloads relying on the observer must keep their shared
+// footprint far below L2 capacity so lines are never silently dropped.
+type MemObserver interface {
+	// LoadAccess fires when a load obtains its value: from the cache
+	// hierarchy, or from an older in-flight store (forwarded=true). A
+	// cancelled load re-accesses; later calls for the same seq override.
+	LoadAccess(cpu int, seq uint64, rec *trace.Record, forwarded bool)
+	// LoadCommit fires when a load retires; its value is architectural.
+	LoadCommit(cpu int, seq uint64, rec *trace.Record)
+	// StoreDrained fires when a committed store leaves the store queue and
+	// writes the cache — the global-visibility point. Drains are FIFO, so
+	// the n-th drain to a given address is that CPU's n-th program store.
+	StoreDrained(cpu int, addr uint64, size uint8)
+	// LineInvalidated fires when a snoop from another chip invalidates the
+	// line containing addr on chip's caches.
+	LineInvalidated(chip int, addr uint64)
+}

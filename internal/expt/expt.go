@@ -602,6 +602,10 @@ func Studies() []Study {
 			r, err := AnalyticStudyCtx(ctx, o)
 			return []Result{r}, err
 		}},
+		{"Litmus", func(ctx context.Context, o core.RunOptions) ([]Result, error) {
+			r, err := LitmusStudyCtx(ctx, o)
+			return []Result{r}, err
+		}},
 	}
 }
 

@@ -1,0 +1,221 @@
+// Package litmus is a memory-ordering conformance harness for the SMP
+// model: the classic litmus-test shapes of the SPARC TSO literature (store
+// buffering, message passing, load buffering, IRIW, and the coherence
+// shapes CoRR/CoWW), expressed as multi-CPU trace programs and classified
+// against their TSO-allowed outcome sets.
+//
+// The source paper's processor is an enterprise SMP part whose correctness
+// story rests on SPARC TSO; the formalisation in Hou et al. ("A
+// formalisation of the SPARC TSO memory model for multi-core machine
+// code") gives the allowed/forbidden outcome sets the tests here carry.
+// TSO relaxes exactly one thing — a load may complete before an older
+// store to a *different* address drains from the store buffer — so SB's
+// r0=0,r1=0 outcome is allowed, while MP's stale read, LB's out-of-thin-
+// air pair, IRIW's split observation and non-monotone same-location reads
+// (CoRR/CoWW) are all forbidden.
+//
+// The model is trace-driven and carries no data values, so outcomes are
+// reconstructed by a value-shadow Observer (observer.go) attached to the
+// cpu.MemObserver hooks: store identity (drains are FIFO per CPU) gives
+// each drain its program-order value, snoop invalidations track which chip
+// holds which value, and a load binds its value at access time — with a
+// re-bind at finalisation when a snoop revoked an out-of-order bind,
+// mirroring how TSO hardware keeps out-of-order loads architecturally
+// ordered without forbidding the store-buffer relaxation itself.
+//
+// Entry points: Run (one seed), Sweep (many seeds x per-CPU skew
+// patterns), the tso-outcomes metamorph check (internal/metamorph), the
+// LitmusStudy experiment (internal/expt), and `sparc64sim -litmus <name>`.
+package litmus
+
+import "fmt"
+
+// Step is one body instruction of a litmus program: a store of a constant
+// to a shared variable, or a load of a shared variable into an observed
+// register.
+type Step struct {
+	// Store selects between a store (Var, Val) and a load (Var, Reg).
+	Store bool
+	// Var is the shared-variable index (0-based).
+	Var int
+	// Val is the value written (stores). Values are small positive
+	// integers, unique per (CPU, Var) so every observation is unambiguous;
+	// 0 is the initial value of every variable.
+	Val int
+	// Reg is the observed-register index the load targets (loads).
+	Reg int
+}
+
+// St builds a store step.
+func St(v, val int) Step { return Step{Store: true, Var: v, Val: val} }
+
+// Ld builds a load step.
+func Ld(v, reg int) Step { return Step{Var: v, Reg: reg} }
+
+// Test is one litmus shape: per-CPU programs over shared variables, and
+// the TSO-allowed outcome predicate over the observed registers.
+type Test struct {
+	// Name is the stable identifier ("sb", "mp", "iriw", ...).
+	Name string
+	// Doc is a one-line description of the shape and its forbidden outcome.
+	Doc string
+	// CPUs, Vars and Regs size the shape: CPU programs, shared variables,
+	// observed registers. All variables start at 0.
+	CPUs, Vars, Regs int
+	// Progs[i] is CPU i's body program.
+	Progs [][]Step
+	// Allowed reports whether an observed register tuple (indexed by Reg)
+	// is TSO-allowed.
+	Allowed func(r []int) bool
+	// Witness lists outcomes that a healthy sweep must observe at least
+	// once — the point of SB is *seeing* the store-buffer relaxation, not
+	// merely never seeing forbidden ones. May be empty.
+	Witness [][]int
+}
+
+// SB is the store-buffering shape: each CPU stores its own variable then
+// loads the other's. TSO allows all four outcomes — r0=0,r1=0 is the
+// store-buffer signature (both loads overtook the remote store) and is a
+// witness a healthy machine must produce.
+func SB() Test {
+	return Test{
+		Name: "sb",
+		Doc:  "store buffering: St X; Ld Y || St Y; Ld X — all outcomes TSO-allowed, 0,0 must be witnessed",
+		CPUs: 2, Vars: 2, Regs: 2,
+		Progs: [][]Step{
+			{St(0, 1), Ld(1, 0)},
+			{St(1, 1), Ld(0, 1)},
+		},
+		Allowed: func(r []int) bool { return true },
+		Witness: [][]int{{0, 0}},
+	}
+}
+
+// MP is message passing: a writer publishes data then a flag; a reader
+// polls the flag then reads the data. Seeing the flag set but the data
+// stale (r0=1, r1=0) is forbidden — TSO stores drain in order and loads
+// do not reorder observably.
+func MP() Test {
+	return Test{
+		Name: "mp",
+		Doc:  "message passing: St X; St Y || Ld Y; Ld X — r0=1,r1=0 (flag set, data stale) forbidden",
+		CPUs: 2, Vars: 2, Regs: 2,
+		Progs: [][]Step{
+			{St(0, 1), St(1, 1)},
+			{Ld(1, 0), Ld(0, 1)},
+		},
+		Allowed: func(r []int) bool { return !(r[0] == 1 && r[1] == 0) },
+	}
+}
+
+// LB is load buffering: each CPU loads one variable then stores the
+// other. Both loads observing the other CPU's (program-later) store
+// (r0=1, r1=1) is forbidden under TSO — loads never pass program-earlier
+// loads observably and stores do not execute early.
+func LB() Test {
+	return Test{
+		Name: "lb",
+		Doc:  "load buffering: Ld X; St Y || Ld Y; St X — r0=1,r1=1 (both read the later stores) forbidden",
+		CPUs: 2, Vars: 2, Regs: 2,
+		Progs: [][]Step{
+			{Ld(0, 0), St(1, 1)},
+			{Ld(1, 1), St(0, 1)},
+		},
+		Allowed: func(r []int) bool { return !(r[0] == 1 && r[1] == 1) },
+	}
+}
+
+// CoRR is coherent read-read: two program-ordered loads of the same
+// variable must not observe it going backwards in coherence order
+// (r0=1, r1=0 forbidden).
+func CoRR() Test {
+	return Test{
+		Name: "corr",
+		Doc:  "coherent read-read: St X || Ld X; Ld X — r0=1,r1=0 (value moves backwards) forbidden",
+		CPUs: 2, Vars: 1, Regs: 2,
+		Progs: [][]Step{
+			{St(0, 1)},
+			{Ld(0, 0), Ld(0, 1)},
+		},
+		Allowed: func(r []int) bool { return !(r[0] == 1 && r[1] == 0) },
+	}
+}
+
+// CoWW is coherent write-write observed by a reader: a CPU writes 1 then 2
+// to the same variable; a second CPU's two ordered loads must observe a
+// non-decreasing sequence (0, 1, 2 are in coherence order).
+func CoWW() Test {
+	return Test{
+		Name: "coww",
+		Doc:  "coherent write-write: St X=1; St X=2 || Ld X; Ld X — reads must be coherence-monotone (r1 >= r0)",
+		CPUs: 2, Vars: 1, Regs: 2,
+		Progs: [][]Step{
+			{St(0, 1), St(0, 2)},
+			{Ld(0, 0), Ld(0, 1)},
+		},
+		Allowed: func(r []int) bool { return r[1] >= r[0] },
+	}
+}
+
+// IRIW is independent reads of independent writes: two writers touch
+// different variables; two readers each read both in opposite orders.
+// The readers disagreeing on the store order (r0=1,r1=0 and r2=1,r3=0)
+// is forbidden — TSO has a single total store order all CPUs agree on.
+func IRIW() Test {
+	return Test{
+		Name: "iriw",
+		Doc:  "independent reads of independent writes: readers must agree on the store order; the split r=(1,0,1,0) is forbidden",
+		CPUs: 4, Vars: 2, Regs: 4,
+		Progs: [][]Step{
+			{St(0, 1)},
+			{St(1, 1)},
+			{Ld(0, 0), Ld(1, 1)},
+			{Ld(1, 2), Ld(0, 3)},
+		},
+		Allowed: func(r []int) bool {
+			return !(r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0)
+		},
+	}
+}
+
+// SBN is the n-thread generalisation of SB: CPU i stores variable i then
+// loads variable i+1 (mod n). TSO allows every outcome (each load may
+// overtake the remote store); the all-zero tuple is the n-way store-buffer
+// signature.
+func SBN(n int) Test {
+	progs := make([][]Step, n)
+	for i := 0; i < n; i++ {
+		progs[i] = []Step{St(i, 1), Ld((i+1)%n, i)}
+	}
+	return Test{
+		Name: fmt.Sprintf("sbn%d", n),
+		Doc:  fmt.Sprintf("%d-thread store-buffer ring: St V_i; Ld V_(i+1) — all outcomes TSO-allowed", n),
+		CPUs: n, Vars: n, Regs: n,
+		Progs:   progs,
+		Allowed: func(r []int) bool { return true },
+	}
+}
+
+// Tests returns the full shape catalog in presentation order.
+func Tests() []Test {
+	return []Test{SB(), MP(), LB(), CoRR(), CoWW(), IRIW(), SBN(4), SBN(8)}
+}
+
+// ByName resolves a shape by its stable name.
+func ByName(name string) (Test, bool) {
+	for _, t := range Tests() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Test{}, false
+}
+
+// Names lists the catalog's shape names in presentation order.
+func Names() []string {
+	var names []string
+	for _, t := range Tests() {
+		names = append(names, t.Name)
+	}
+	return names
+}

@@ -1,0 +1,320 @@
+package litmus
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"reflect"
+	"testing"
+
+	"sparc64v/internal/coherence"
+	"sparc64v/internal/system"
+	"sparc64v/internal/trace"
+)
+
+// sweepOpts are the stock test options: enough seeds to exercise every
+// skew pattern a few times without making `go test` slow.
+func sweepOpts(cpus int) Options {
+	return Options{Seeds: 32, BaseSeed: 42, CPUs: cpus}
+}
+
+// TestStockConformance sweeps every catalog shape at its natural size and
+// padded machine sizes: no TSO-forbidden outcome may appear, every
+// required witness must, and the coherence invariant must hold after each
+// run (Run checks it per shared line).
+func TestStockConformance(t *testing.T) {
+	cfg := BaseConfig()
+	for _, tt := range Tests() {
+		for _, cpus := range []int{2, 4, 8} {
+			if cpus < tt.CPUs {
+				continue
+			}
+			tt, cpus := tt, cpus
+			t.Run(fmt.Sprintf("%s/%dcpu", tt.Name, cpus), func(t *testing.T) {
+				t.Parallel()
+				sr, err := Sweep(context.Background(), tt, cfg, sweepOpts(cpus))
+				if err != nil {
+					t.Fatalf("sweep: %v", err)
+				}
+				if len(sr.Forbidden) > 0 {
+					t.Errorf("TSO-forbidden outcomes observed: %v", sr.Forbidden)
+				}
+				if len(sr.WitnessMissing) > 0 {
+					t.Errorf("required witness outcomes never observed: %v", sr.WitnessMissing)
+				}
+				total := 0
+				for _, oc := range sr.Outcomes {
+					total += oc.Count
+				}
+				if total != sr.Seeds {
+					t.Errorf("histogram covers %d of %d seeds", total, sr.Seeds)
+				}
+			})
+		}
+	}
+}
+
+// TestSBWitnessesRelaxation pins the point of the harness: the
+// store-buffer relaxation (both loads overtaking the remote store) is
+// actually observed, not merely permitted.
+func TestSBWitnessesRelaxation(t *testing.T) {
+	sr, err := Sweep(context.Background(), SB(), BaseConfig(), sweepOpts(0))
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, oc := range sr.Outcomes {
+		if oc.Outcome == "r0=0 r1=0" {
+			if oc.Count == 0 {
+				t.Fatalf("witness row present but empty: %+v", sr.Outcomes)
+			}
+			return
+		}
+	}
+	t.Fatalf("store-buffer witness r0=0 r1=0 never observed: %+v", sr.Outcomes)
+}
+
+// TestSweepDeterministicAcrossWorkers pins byte-identical results at any
+// worker count: runs fan out on the scheduler but merge in seed order.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := BaseConfig()
+	for _, tt := range []Test{SB(), IRIW()} {
+		var want []byte
+		for _, workers := range []int{1, 8} {
+			opt := sweepOpts(0)
+			opt.Workers = workers
+			sr, err := Sweep(context.Background(), tt, cfg, opt)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tt.Name, workers, err)
+			}
+			got, err := json.Marshal(sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+			} else if string(got) != string(want) {
+				t.Errorf("%s: workers=%d diverged:\n  1: %s\n  %d: %s",
+					tt.Name, workers, want, workers, got)
+			}
+		}
+	}
+}
+
+// TestObserverInvisible pins that attaching the observer does not perturb
+// the timing model: cycle counts with and without it are identical.
+func TestObserverInvisible(t *testing.T) {
+	tt := SB()
+	cfg := BaseConfig()
+	prog, err := tt.Build(BuildOptions{Seed: 7, MaxSkew: 96, MaxGap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(observe bool) uint64 {
+		c := cfg.WithCPUs(prog.CPUs)
+		c.WarmupInsts = 0
+		srcs := make([]trace.Source, prog.CPUs)
+		for i := range srcs {
+			srcs[i] = trace.NewSliceSource(prog.Recs[i])
+		}
+		sys, err := system.New(c, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			obs, err := NewObserver(prog, uint(bits.TrailingZeros(uint(c.L1D.LineBytes))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < prog.CPUs; i++ {
+				sys.CPU(i).Observer = obs
+				sys.Chip(i).Observer = obs
+			}
+		}
+		cycles, capped, err := sys.RunContext(context.Background(), 1_000_000)
+		if err != nil || capped {
+			t.Fatalf("run: cycles=%d capped=%v err=%v", cycles, capped, err)
+		}
+		return cycles
+	}
+	with, without := run(true), run(false)
+	if with != without {
+		t.Fatalf("observer perturbed timing: %d cycles with, %d without", with, without)
+	}
+}
+
+// TestInjectedFaultCaught pins the harness's teeth: a coherence controller
+// that drops invalidations must produce TSO-forbidden outcomes on the
+// stale-read shapes.
+func TestInjectedFaultCaught(t *testing.T) {
+	coherence.InjectFault(coherence.FaultDropInvalidate)
+	defer coherence.InjectFault(coherence.FaultNone)
+	cfg := BaseConfig()
+	for _, name := range []string{"mp", "iriw"} {
+		tt, ok := ByName(name)
+		if !ok {
+			t.Fatalf("shape %s missing", name)
+		}
+		sr, err := Sweep(context.Background(), tt, cfg, sweepOpts(0))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sr.Forbidden) == 0 {
+			t.Errorf("%s: dropped invalidations produced no forbidden outcome: %+v", name, sr.Outcomes)
+		}
+	}
+}
+
+// TestByName covers the catalog lookups.
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		tt, ok := ByName(name)
+		if !ok || tt.Name != name {
+			t.Errorf("ByName(%q) = %q, %v", name, tt.Name, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown shape")
+	}
+}
+
+// TestBuildLayout pins the generated program's structural promises: body
+// loads target the declared registers, stores appear in program order in
+// storeSeq, variables sit on distinct cache lines, and padding CPUs get
+// warm+filler-only traces.
+func TestBuildLayout(t *testing.T) {
+	tt := MP()
+	prog, err := tt.Build(BuildOptions{Seed: 3, MaxSkew: 16, MaxGap: 2, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.CPUs != 4 || len(prog.Recs) != 4 {
+		t.Fatalf("padding: got %d CPUs", prog.CPUs)
+	}
+	if got := [][]storeEvent{{{0, 1}, {1, 1}}, nil, nil, nil}; !reflect.DeepEqual(prog.storeSeq, got) {
+		t.Errorf("storeSeq = %+v", prog.storeSeq)
+	}
+	for v := 0; v < tt.Vars; v++ {
+		for w := v + 1; w < tt.Vars; w++ {
+			if prog.VarAddr[v]>>6 == prog.VarAddr[w]>>6 {
+				t.Errorf("vars %d and %d share a 64B line", v, w)
+			}
+		}
+	}
+	// Reader CPU 1: two observed loads mapping r0 <- Y, r1 <- X.
+	if got := prog.regOfDst[dstKey(1, regBase+0)]; got != 0 {
+		t.Errorf("cpu1 r0 mapping = %d", got)
+	}
+	if got := prog.regOfDst[dstKey(1, regBase+1)]; got != 1 {
+		t.Errorf("cpu1 r1 mapping = %d", got)
+	}
+	// Padding CPUs carry no body: every record is a warm load or filler.
+	for _, r := range prog.Recs[3] {
+		if r.EA != 0 && r.Dst != warmReg {
+			t.Errorf("padding CPU has body record %+v", r)
+		}
+	}
+}
+
+// TestBuildRejectsRegisterBudget covers the register-budget guard.
+func TestBuildRejectsRegisterBudget(t *testing.T) {
+	tt := SBN(4)
+	tt.Regs = warmReg - regBase + 1
+	if _, err := tt.Build(BuildOptions{}); err == nil {
+		t.Error("oversized register set accepted")
+	}
+}
+
+// TestObserverValueShadow drives the shadow directly through an MP-shaped
+// event sequence and checks the bind/finalise semantics: an in-order bind
+// survives a later invalidation (the store-buffer relaxation), while an
+// out-of-order bind revoked by a snoop re-binds at finalisation.
+func TestObserverValueShadow(t *testing.T) {
+	tt := MP()
+	prog, err := tt.Build(BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newObs := func() *Observer {
+		obs, err := NewObserver(prog, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obs
+	}
+	// Reader CPU 1's observed loads in trace order: seqs of Ld Y, Ld X.
+	var loadSeqs []uint64
+	for seq, r := range prog.Recs[1] {
+		if r.EA != 0 && r.Dst != warmReg {
+			loadSeqs = append(loadSeqs, uint64(seq))
+		}
+	}
+	if len(loadSeqs) != 2 {
+		t.Fatalf("reader has %d body loads", len(loadSeqs))
+	}
+	ldY, ldX := loadSeqs[0], loadSeqs[1]
+	recY, recX := &prog.Recs[1][ldY], &prog.Recs[1][ldX]
+	warmAll := func(obs *Observer) {
+		for cpu := 0; cpu < prog.CPUs; cpu++ {
+			for seq, r := range prog.Recs[cpu] {
+				if r.Dst == warmReg {
+					obs.LoadAccess(cpu, uint64(seq), &prog.Recs[cpu][seq], false)
+					obs.LoadCommit(cpu, uint64(seq), &prog.Recs[cpu][seq])
+				}
+			}
+		}
+	}
+
+	// In order: both reader loads bind 0, then the writer drains. The
+	// early binds are final and survive the invalidations — outcome 0,0.
+	obs := newObs()
+	warmAll(obs)
+	obs.LoadAccess(1, ldY, recY, false)
+	obs.LoadAccess(1, ldX, recX, false)
+	obs.StoreDrained(0, prog.VarAddr[0], 8) // X=1
+	obs.LineInvalidated(1, prog.VarAddr[0])
+	obs.StoreDrained(0, prog.VarAddr[1], 8) // Y=1
+	obs.LineInvalidated(1, prog.VarAddr[1])
+	obs.LoadCommit(1, ldY, recY)
+	obs.LoadCommit(1, ldX, recX)
+	if got := obs.Outcome(); !reflect.DeepEqual(got, []int{0, 0}) {
+		t.Errorf("in-order binds: outcome %v, want [0 0]", got)
+	}
+
+	// Out of order: Ld X binds 0 early, the writer drains both stores,
+	// then Ld Y binds 1. X's bind was revoked before finalisation, so it
+	// re-binds to 1 — the forbidden 1,0 never materialises.
+	obs = newObs()
+	warmAll(obs)
+	obs.LoadAccess(1, ldX, recX, false) // younger first (retry reordering)
+	obs.StoreDrained(0, prog.VarAddr[0], 8)
+	obs.LineInvalidated(1, prog.VarAddr[0])
+	obs.StoreDrained(0, prog.VarAddr[1], 8)
+	obs.LineInvalidated(1, prog.VarAddr[1])
+	obs.LoadAccess(1, ldY, recY, false) // older load finally accesses
+	obs.LoadCommit(1, ldY, recY)
+	obs.LoadCommit(1, ldX, recX)
+	if got := obs.Outcome(); !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Errorf("out-of-order rebind: outcome %v, want [1 1]", got)
+	}
+	if errs := obs.Finish(); len(errs) != 0 {
+		t.Errorf("complete synthetic run reported errors: %v", errs)
+	}
+}
+
+// TestObserverFinishFlagsIncomplete pins that Finish reports unobserved
+// registers, pending loads and undrained stores.
+func TestObserverFinishFlagsIncomplete(t *testing.T) {
+	prog, err := SB().Build(BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := NewObserver(prog, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := obs.Finish()
+	if len(errs) == 0 {
+		t.Fatal("empty run reported complete")
+	}
+}

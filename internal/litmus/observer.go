@@ -1,0 +1,288 @@
+package litmus
+
+import (
+	"fmt"
+
+	"sparc64v/internal/isa"
+	"sparc64v/internal/trace"
+)
+
+// Observer reconstructs observed load values on the timing-only model. It
+// implements cpu.MemObserver and mirrors, in values, exactly what the
+// model does in cache states:
+//
+//   - a drained store (the model's global-visibility point; drains are
+//     FIFO per CPU) publishes its program-order value globally and into
+//     the draining chip's copy;
+//   - a snoop invalidation marks a chip's copy gone and bumps the
+//     (chip, var) epoch;
+//   - a load binds its value at access time: the chip's held copy if
+//     present (cache hit), else the current global value (miss — the fill
+//     comes from the owner or memory), which also makes the chip a holder.
+//
+// A bind is provisional until every program-order-older load of the same
+// CPU has accessed (the model's load queue can initiate accesses out of
+// order across bank-conflict and MSHR retries). At that point the bind is
+// finalised: if a snoop invalidated the line in between, the load
+// re-binds to the value current at finalisation. This makes each CPU's
+// effective bind times monotone in program order — exactly the load-load
+// ordering TSO demands — without tying binds to commit. Tying them to
+// commit would be stronger than TSO: an early-bound load whose line is
+// invalidated before retirement is still a legal TSO execution (the read
+// is ordered before the store), and it is precisely the store-buffer
+// relaxation the SB witness exists to observe.
+//
+// Store-to-load forwards bypass the cache entirely and deliver the
+// forwarding store's own value (precomputed per load in Program.fwdVal);
+// they are final at access.
+//
+// Trust boundary: the shadow sees snoop invalidations but not L2-capacity
+// back-invalidations (see cpu.MemObserver); litmus footprints are a few
+// lines, far below L2 capacity, and Finish cross-checks that every store
+// drained and every observed load committed.
+//
+// The simulation ticks CPUs sequentially, so one Observer serves all CPUs
+// and chips of a System without locking.
+type Observer struct {
+	prog      *Program
+	lineShift uint
+	lineVar   map[uint64]int // line address -> variable index
+
+	cur     []int      // current globally visible value, per var
+	held    [][]bool   // chip holds a copy of var
+	heldVal [][]int    // the value that copy carries
+	epoch   [][]uint32 // bumped per (chip, var) on snoop invalidation
+
+	// loadOrd[cpu] maps a load's window seq (== trace record index: the
+	// model is trace-driven and allocates seqs in program order with no
+	// wrong-path entries) to its program-order load ordinal.
+	loadOrd []map[uint64]int
+	// accessed[cpu][k] records that the CPU's k-th load has accessed;
+	// frontier[cpu] is the count of leading accessed loads. A pending
+	// load finalises when the frontier passes it.
+	accessed [][]bool
+	frontier []int
+
+	pending  []map[uint64]pendingLoad // per CPU, by window seq
+	ordSeq   []map[int]uint64         // per CPU, load ordinal -> window seq
+	drainPos []int                    // per CPU, index into Program.storeSeq
+
+	finals   []int // observed register values
+	gotFinal []bool
+	errs     []string
+}
+
+// pendingLoad is a load bound at access, awaiting finalisation and commit.
+type pendingLoad struct {
+	varIdx int
+	reg    int // observed-register index, -1 for warming loads
+	ord    int // program-order load ordinal on its CPU
+	val    int
+	epoch  uint32
+	final  bool
+}
+
+// NewObserver builds the shadow for a program on a machine with the given
+// cache-line shift.
+func NewObserver(p *Program, lineShift uint) (*Observer, error) {
+	o := &Observer{
+		prog:      p,
+		lineShift: lineShift,
+		lineVar:   make(map[uint64]int, len(p.VarAddr)),
+		cur:       make([]int, len(p.VarAddr)),
+		held:      make([][]bool, p.CPUs),
+		heldVal:   make([][]int, p.CPUs),
+		epoch:     make([][]uint32, p.CPUs),
+		loadOrd:   make([]map[uint64]int, p.CPUs),
+		accessed:  make([][]bool, p.CPUs),
+		frontier:  make([]int, p.CPUs),
+		pending:   make([]map[uint64]pendingLoad, p.CPUs),
+		ordSeq:    make([]map[int]uint64, p.CPUs),
+		drainPos:  make([]int, p.CPUs),
+		finals:    make([]int, p.Test.Regs),
+		gotFinal:  make([]bool, p.Test.Regs),
+	}
+	for v, ea := range p.VarAddr {
+		line := ea >> lineShift
+		if prev, dup := o.lineVar[line]; dup {
+			return nil, fmt.Errorf("litmus: vars %d and %d share cache line %#x", prev, v, line)
+		}
+		o.lineVar[line] = v
+	}
+	for i := 0; i < p.CPUs; i++ {
+		o.held[i] = make([]bool, len(p.VarAddr))
+		o.heldVal[i] = make([]int, len(p.VarAddr))
+		o.epoch[i] = make([]uint32, len(p.VarAddr))
+		o.loadOrd[i] = make(map[uint64]int)
+		for seq, r := range p.Recs[i] {
+			if r.Op == isa.Load {
+				o.loadOrd[i][uint64(seq)] = len(o.loadOrd[i])
+			}
+		}
+		o.accessed[i] = make([]bool, len(o.loadOrd[i]))
+		o.pending[i] = make(map[uint64]pendingLoad)
+		o.ordSeq[i] = make(map[int]uint64)
+	}
+	return o, nil
+}
+
+// errf records a shadow/model divergence (an infrastructure failure, not
+// a TSO verdict).
+func (o *Observer) errf(format string, args ...any) {
+	if len(o.errs) < 16 {
+		o.errs = append(o.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+// LoadAccess implements cpu.MemObserver. A cancelled load re-accesses;
+// the map overwrite keeps only the final observation for the seq.
+func (o *Observer) LoadAccess(cpu int, seq uint64, rec *trace.Record, forwarded bool) {
+	v, ok := o.lineVar[rec.EA>>o.lineShift]
+	if !ok {
+		return
+	}
+	ord, isLoad := o.loadOrd[cpu][seq]
+	if !isLoad {
+		o.errf("cpu %d: access for seq %d which the program says is not a load", cpu, seq)
+		return
+	}
+	var val int
+	if forwarded {
+		fv, ok := o.prog.fwdVal[dstKey(cpu, rec.Dst)]
+		if !ok {
+			o.errf("cpu %d: unexpected store-forward into load pc %#x", cpu, rec.PC)
+			return
+		}
+		val = fv
+	} else if o.held[cpu][v] {
+		val = o.heldVal[cpu][v]
+	} else {
+		val = o.cur[v]
+		o.held[cpu][v] = true
+		o.heldVal[cpu][v] = val
+	}
+	reg, observed := o.prog.regOfDst[dstKey(cpu, rec.Dst)]
+	if !observed {
+		reg = -1
+	}
+	o.pending[cpu][seq] = pendingLoad{
+		varIdx: v, reg: reg, ord: ord, val: val,
+		epoch: o.epoch[cpu][v], final: forwarded,
+	}
+	o.ordSeq[cpu][ord] = seq
+	o.accessed[cpu][ord] = true
+	o.advanceFrontier(cpu)
+}
+
+// advanceFrontier finalises every pending load all of whose older loads
+// have now accessed: if a snoop invalidated its line since the bind, it
+// re-binds to the value current now (the chip's refreshed copy if a later
+// access refetched it, else the global value — without claiming the chip
+// holds the line: the timing model did not refetch on its behalf).
+func (o *Observer) advanceFrontier(cpu int) {
+	for o.frontier[cpu] < len(o.accessed[cpu]) && o.accessed[cpu][o.frontier[cpu]] {
+		seq, ok := o.ordSeq[cpu][o.frontier[cpu]]
+		o.frontier[cpu]++
+		if !ok {
+			continue
+		}
+		p, live := o.pending[cpu][seq]
+		if !live || p.final {
+			continue
+		}
+		if o.epoch[cpu][p.varIdx] != p.epoch {
+			if o.held[cpu][p.varIdx] {
+				p.val = o.heldVal[cpu][p.varIdx]
+			} else {
+				p.val = o.cur[p.varIdx]
+			}
+		}
+		p.final = true
+		o.pending[cpu][seq] = p
+	}
+}
+
+// LoadCommit implements cpu.MemObserver: the finalised bind becomes
+// architectural.
+func (o *Observer) LoadCommit(cpu int, seq uint64, rec *trace.Record) {
+	p, ok := o.pending[cpu][seq]
+	if !ok {
+		return
+	}
+	delete(o.pending[cpu], seq)
+	if !p.final {
+		// Commit is in program order, so every older load has committed —
+		// hence accessed — and the frontier must have passed this load.
+		o.errf("cpu %d: load seq %d committed before its bind finalised", cpu, seq)
+	}
+	if p.reg >= 0 {
+		if o.gotFinal[p.reg] {
+			o.errf("cpu %d: register r%d observed twice", cpu, p.reg)
+		}
+		o.finals[p.reg] = p.val
+		o.gotFinal[p.reg] = true
+	}
+}
+
+// StoreDrained implements cpu.MemObserver: the CPU's next program-order
+// store becomes globally visible. The address cross-check pins the model's
+// FIFO-drain promise — a reordered drain is a real TSO W->W violation and
+// surfaces here as a shadow error.
+func (o *Observer) StoreDrained(cpu int, addr uint64, size uint8) {
+	v, ok := o.lineVar[addr>>o.lineShift]
+	if !ok {
+		return
+	}
+	seq := o.prog.storeSeq[cpu]
+	i := o.drainPos[cpu]
+	if i >= len(seq) {
+		o.errf("cpu %d: unexpected extra store drain to %#x", cpu, addr)
+		return
+	}
+	if seq[i].varIdx != v {
+		o.errf("cpu %d: drain %d hit var %d but program order says var %d (W->W reorder?)",
+			cpu, i, v, seq[i].varIdx)
+		return
+	}
+	o.drainPos[cpu] = i + 1
+	o.cur[v] = seq[i].val
+	o.held[cpu][v] = true
+	o.heldVal[cpu][v] = seq[i].val
+}
+
+// LineInvalidated implements cpu.MemObserver: a snoop took the chip's
+// copy; any load bound against it that has not finalised must re-bind.
+func (o *Observer) LineInvalidated(chip int, addr uint64) {
+	v, ok := o.lineVar[addr>>o.lineShift]
+	if !ok {
+		return
+	}
+	o.held[chip][v] = false
+	o.epoch[chip][v]++
+}
+
+// Outcome returns the observed register tuple (valid after the run).
+func (o *Observer) Outcome() []int { return o.finals }
+
+// Finish cross-checks completeness and returns every shadow error: all
+// observed registers written, no load left pending, every program store
+// drained.
+func (o *Observer) Finish() []string {
+	errs := o.errs
+	for g, ok := range o.gotFinal {
+		if !ok {
+			errs = append(errs, fmt.Sprintf("register r%d never observed", g))
+		}
+	}
+	for cpu, pend := range o.pending {
+		if len(pend) > 0 {
+			errs = append(errs, fmt.Sprintf("cpu %d: %d loads accessed but never committed", cpu, len(pend)))
+		}
+	}
+	for cpu, pos := range o.drainPos {
+		if pos != len(o.prog.storeSeq[cpu]) {
+			errs = append(errs, fmt.Sprintf("cpu %d: %d of %d stores drained", cpu, pos, len(o.prog.storeSeq[cpu])))
+		}
+	}
+	return errs
+}

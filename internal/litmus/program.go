@@ -1,0 +1,206 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparc64v/internal/isa"
+	"sparc64v/internal/trace"
+)
+
+// Address and register layout of the generated programs.
+const (
+	// varBase anchors the shared variables well away from the synthetic
+	// workloads' regions. varStride keeps each variable on its own cache
+	// line (64B) and staggers the L1 bank it lands in; it is 8-byte
+	// aligned so an 8-byte access never splits.
+	varBase   = 0x4000_0000
+	varStride = 1096
+
+	// codeStride separates the per-CPU instruction streams so no I-cache
+	// line is ever shared between chips (I-side fetches are non-exclusive
+	// and must not perturb the data-side invalidation sequence).
+	codeStride = 0x0010_0000
+
+	// Fillers fetch from a small PC loop (fillLoopInstrs instructions at
+	// codeBase+fillLoopOff) instead of a linear stream: after one cold
+	// pass the loop hits in the L1I every cycle, so fetch sustains full
+	// width and the window actually fills. With linear filler PCs every
+	// 16th instruction takes an I-miss, fetch becomes the ~1-per-cycle
+	// bottleneck, the window runs near-empty, and loads access within a
+	// cycle or two of commit — hiding the store-buffer relaxation the SB
+	// witness exists to demonstrate.
+	fillLoopOff    = 0x1000
+	fillLoopInstrs = 64
+
+	// regBase maps observed-register index g to architectural integer
+	// register regBase+g (body loads only; Test.Regs stays far below the
+	// scratch registers).
+	regBase = 8
+	// warmReg sinks the warming loads, fillReg carries the dependence
+	// chain of the filler instructions.
+	warmReg = 24
+	fillReg = 25
+
+	// barrierFillers is the dependence-chained filler run between the
+	// warming loads and the body. It must exceed the 64-entry window so
+	// the body cannot issue — and its loads cannot access — until the
+	// warm misses have committed; past that point the chain retires one
+	// per cycle, turning every additional filler into one cycle of
+	// controllable skew.
+	barrierFillers = 80
+
+	// windowDivs widens the observable store-buffer window. A chained
+	// IntALU run alone leaves issue leading the chain's dispatch frontier
+	// by only the 16 reservation-station slots (2 stations x 8 entries),
+	// not the 64-entry window, so a body store drains ~15 cycles after
+	// its own loads access — far below the random skew spread, and the SB
+	// (0,0) witness essentially never lands. Chaining two non-pipelined
+	// divides (37 cycles each) onto the fillers immediately before the
+	// body keeps the body speculative for ~75 cycles after it issues:
+	// its loads still access within a few cycles, its stores drain after
+	// the divides retire, and two bodies within ~70 cycles of each other
+	// observably overlap in their store buffers.
+	windowDivs = 2
+)
+
+// BuildOptions parameterises one generated program.
+type BuildOptions struct {
+	// Seed drives the per-CPU random skews and gaps.
+	Seed int64
+	// MaxSkew bounds the random filler run inserted before each CPU's
+	// body (uniform in [0, MaxSkew]); 0 inserts none.
+	MaxSkew int
+	// MaxGap bounds the random filler run between body steps (uniform in
+	// [0, MaxGap]); 0 inserts none.
+	MaxGap int
+	// ExtraSkew[i] adds a fixed filler run before CPU i's body — the
+	// structural "this CPU runs late" patterns the sweep driver cycles
+	// through. Shorter slices leave the remaining CPUs at 0.
+	ExtraSkew []int
+	// CPUs embeds the shape in a larger machine: CPUs beyond Test.CPUs
+	// run warm+filler-only programs (extra invalidation targets). 0 or
+	// anything below Test.CPUs means the shape's natural size.
+	CPUs int
+}
+
+// storeEvent is one program-order store of a CPU: drains are FIFO, so the
+// n-th observed drain must match the n-th entry.
+type storeEvent struct {
+	varIdx int
+	val    int
+}
+
+// Program is a built litmus run: one trace per CPU plus the metadata the
+// Observer needs to reconstruct values on a data-less trace model.
+type Program struct {
+	Test Test
+	// CPUs is the machine size (>= Test.CPUs; extras run filler).
+	CPUs int
+	// Recs[i] is CPU i's instruction trace.
+	Recs [][]trace.Record
+	// VarAddr[v] is shared variable v's effective address.
+	VarAddr []uint64
+
+	// storeSeq[i] is CPU i's program-order store sequence.
+	storeSeq [][]storeEvent
+	// regOfDst maps (cpu, dst arch reg) to the observed-register index.
+	regOfDst map[int]int
+	// fwdVal maps (cpu, dst arch reg) of a load to the value of the last
+	// program-order-earlier same-variable store on that CPU — the value a
+	// store-to-load forward must deliver.
+	fwdVal map[int]int
+}
+
+// dstKey indexes regOfDst/fwdVal by (cpu, architectural register).
+func dstKey(cpu int, reg uint8) int { return cpu<<8 | int(reg) }
+
+// Build generates the per-CPU traces for the shape.
+func (t Test) Build(opt BuildOptions) (*Program, error) {
+	if t.Regs > warmReg-regBase {
+		return nil, fmt.Errorf("litmus %s: %d observed registers exceed the register budget", t.Name, t.Regs)
+	}
+	cpus := t.CPUs
+	if opt.CPUs > cpus {
+		cpus = opt.CPUs
+	}
+	p := &Program{
+		Test:     t,
+		CPUs:     cpus,
+		Recs:     make([][]trace.Record, cpus),
+		VarAddr:  make([]uint64, t.Vars),
+		storeSeq: make([][]storeEvent, cpus),
+		regOfDst: make(map[int]int),
+		fwdVal:   make(map[int]int),
+	}
+	for v := range p.VarAddr {
+		p.VarAddr[v] = varBase + uint64(v)*varStride
+	}
+	for cpu := 0; cpu < cpus; cpu++ {
+		rng := rand.New(rand.NewSource(opt.Seed ^ int64(cpu+1)*0x9e3779b97f4a7c))
+		pc := uint64(codeStride * (cpu + 1))
+		var recs []trace.Record
+		emit := func(r trace.Record) {
+			r.PC = pc
+			pc += isa.InstrBytes
+			recs = append(recs, r)
+		}
+		fillBase := uint64(codeStride*(cpu+1) + fillLoopOff)
+		fillCount := 0
+		filler := func(op isa.Class) {
+			fpc := fillBase + uint64(fillCount%fillLoopInstrs)*isa.InstrBytes
+			fillCount++
+			recs = append(recs, trace.Record{PC: fpc, Op: op,
+				Dst: fillReg, Src1: fillReg, Src2: isa.RegNone})
+		}
+		fillers := func(n int) {
+			for i := 0; i < n; i++ {
+				filler(isa.IntALU)
+			}
+		}
+		// Warm every variable into this chip (Shared everywhere): the body
+		// stores then provoke real cross-chip invalidations, and a dropped
+		// one leaves an *observably* stale copy.
+		for _, ea := range p.VarAddr {
+			emit(trace.Record{EA: ea, Op: isa.Load, Dst: warmReg,
+				Src1: isa.RegNone, Src2: isa.RegNone, Size: 8})
+		}
+		fillers(barrierFillers)
+		if cpu < len(opt.ExtraSkew) {
+			fillers(opt.ExtraSkew[cpu])
+		}
+		if opt.MaxSkew > 0 {
+			fillers(rng.Intn(opt.MaxSkew + 1))
+		}
+		if cpu < t.CPUs {
+			for i := 0; i < windowDivs; i++ {
+				filler(isa.IntDiv)
+			}
+			lastStore := make(map[int]int)
+			for si, s := range t.Progs[cpu] {
+				if si > 0 && opt.MaxGap > 0 {
+					fillers(rng.Intn(opt.MaxGap + 1))
+				}
+				if s.Store {
+					emit(trace.Record{EA: p.VarAddr[s.Var], Op: isa.Store,
+						Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Size: 8})
+					p.storeSeq[cpu] = append(p.storeSeq[cpu], storeEvent{varIdx: s.Var, val: s.Val})
+					lastStore[s.Var] = s.Val
+				} else {
+					dst := uint8(regBase + s.Reg)
+					if _, dup := p.regOfDst[dstKey(cpu, dst)]; dup {
+						return nil, fmt.Errorf("litmus %s: register r%d loaded twice on cpu %d", t.Name, s.Reg, cpu)
+					}
+					emit(trace.Record{EA: p.VarAddr[s.Var], Op: isa.Load, Dst: dst,
+						Src1: isa.RegNone, Src2: isa.RegNone, Size: 8})
+					p.regOfDst[dstKey(cpu, dst)] = s.Reg
+					if v, ok := lastStore[s.Var]; ok {
+						p.fwdVal[dstKey(cpu, dst)] = v
+					}
+				}
+			}
+		}
+		p.Recs[cpu] = recs
+	}
+	return p, nil
+}

@@ -128,6 +128,11 @@ func Catalog() []Check {
 			Detail: "analytic CPI within 10% of the detailed model; L1 ladder trends keep their sign",
 			Run:    checkAnalyticResidual,
 		},
+		{
+			Name: "tso-outcomes", Kind: "conformance",
+			Detail: "litmus sweeps: no TSO-forbidden outcome, store-buffer witness observed",
+			Run:    checkTSOOutcomes,
+		},
 	}
 }
 

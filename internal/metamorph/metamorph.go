@@ -5,7 +5,7 @@
 // The paper validated its performance model by cross-checking it,
 // instruction by instruction, against an independent logic simulator and
 // by confirming that design-change trends agreed between models. Without
-// RTL we reproduce the *shape* of that methodology with three check
+// RTL we reproduce the *shape* of that methodology with four check
 // families over the model itself:
 //
 //   - monotonicity: a strictly better machine must not perform worse —
@@ -20,7 +20,10 @@
 //     OoO commit stream against the trace and the reverse-tracer replay,
 //     the LRU cache against a structurally different shadow model, a
 //     cache-served run against the cold simulation that produced it, and
-//     design-change trends against the in-order reference model.
+//     design-change trends against the in-order reference model;
+//   - conformance: the SMP model must obey the SPARC TSO memory model —
+//     litmus-test sweeps (internal/litmus) may never observe a forbidden
+//     outcome and must witness the store-buffer relaxation.
 //
 // Checks run through the public model API (internal/core and
 // internal/system) and fan out on the scheduler; cmd/verify is the CLI
@@ -32,9 +35,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"sparc64v/internal/cache"
+	"sparc64v/internal/coherence"
 	"sparc64v/internal/config"
 	"sparc64v/internal/core"
 	"sparc64v/internal/obs"
@@ -95,6 +100,9 @@ type Env struct {
 	// simulations (Breakdown, TrendCheck). The harness already parallelizes
 	// across checks, so 1 is the right default.
 	Workers int
+	// Full mirrors Options.Full so checks can scale their own depth (the
+	// TSO sweep doubles its seed count in full mode).
+	Full bool
 	// Obs collects per-run profile spans for every simulation the checks
 	// execute; nil disables profiling.
 	Obs *obs.Collector
@@ -230,6 +238,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		Insts:    insts,
 		Seed:     seed,
 		Workers:  1,
+		Full:     opt.Full,
 		Obs:      opt.Obs,
 	}
 	checks, err := selectChecks(opt)
@@ -242,7 +251,7 @@ func Run(ctx context.Context, opt Options) (Report, error) {
 		Config:       env.Base.Name,
 		Seed:         seed,
 		Insts:        insts,
-		Fault:        cache.InjectedFault().String(),
+		Fault:        injectedFaults(),
 	}
 	for _, p := range env.Profiles {
 		rep.Workloads = append(rep.Workloads, p.Name)
@@ -306,18 +315,37 @@ func selectChecks(opt Options) ([]Check, error) {
 		return quick, nil
 	}
 	byName := make(map[string]Check, len(all))
+	var names []string
 	for _, c := range all {
 		byName[c.Name] = c
+		names = append(names, c.Name)
 	}
+	sort.Strings(names)
 	var sel []Check
 	for _, name := range opt.Checks {
 		c, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("metamorph: unknown check %q (have %v)", name, CheckNames())
+			return nil, fmt.Errorf("metamorph: unknown check %q (have %v)", name, names)
 		}
 		sel = append(sel, c)
 	}
 	return sel, nil
+}
+
+// injectedFaults renders the process-wide fault state across all
+// injection points (cache and coherence) for the report header.
+func injectedFaults() string {
+	var armed []string
+	if f := cache.InjectedFault(); f != cache.FaultNone {
+		armed = append(armed, f.String())
+	}
+	if f := coherence.InjectedFault(); f != coherence.FaultNone {
+		armed = append(armed, f.String())
+	}
+	if len(armed) == 0 {
+		return cache.FaultNone.String()
+	}
+	return strings.Join(armed, "+")
 }
 
 // CheckNames lists the catalog, sorted, for flag validation and docs.

@@ -3,9 +3,11 @@ package metamorph
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"sparc64v/internal/cache"
+	"sparc64v/internal/coherence"
 	"sparc64v/internal/config"
 )
 
@@ -65,6 +67,26 @@ func TestInjectedFaultCaught(t *testing.T) {
 	}
 }
 
+// TestInjectedCoherenceFaultCaught is the TSO harness's self-test: a
+// coherence controller that drops invalidations must fail the
+// tso-outcomes check — stale copies survive in remote chips and the
+// litmus sweeps observe forbidden outcomes.
+func TestInjectedCoherenceFaultCaught(t *testing.T) {
+	coherence.InjectFault(coherence.FaultDropInvalidate)
+	defer coherence.InjectFault(coherence.FaultNone)
+	rep, err := Run(context.Background(), Options{Checks: []string{"tso-outcomes"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Fault != "dropinval" {
+		t.Fatalf("report fault = %q, want dropinval", rep.Fault)
+	}
+	if rep.Errors > 0 || rep.Fail == 0 {
+		t.Fatalf("injected dropinval fault escaped tso-outcomes: %+v", rep.Verdicts)
+	}
+	t.Logf("fault caught: %s", rep.Verdicts[0].Detail)
+}
+
 func TestCheckSelection(t *testing.T) {
 	if _, err := Run(context.Background(), Options{Checks: []string{"no-such-check"}}); err == nil {
 		t.Fatal("unknown check name accepted")
@@ -84,6 +106,26 @@ func TestCheckSelection(t *testing.T) {
 	}
 }
 
+// TestUnknownCheckErrorListsNames pins the unknown-check error message: it
+// must list every valid name, including caller-supplied Extra checks —
+// cmd/verify users see this text when they typo a -checks value.
+func TestUnknownCheckErrorListsNames(t *testing.T) {
+	extra := Check{Name: "extra-gateway-check", Kind: "differential",
+		Run: func(context.Context, *Env) (string, error) { return "", nil }}
+	_, err := Run(context.Background(), Options{
+		Checks: []string{"no-such-check"},
+		Extra:  []Check{extra},
+	})
+	if err == nil {
+		t.Fatal("unknown check name accepted")
+	}
+	for _, want := range []string{"tso-outcomes", "extra-gateway-check", "mono-l1-size"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+}
+
 func TestCatalogNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range Catalog() {
@@ -91,7 +133,7 @@ func TestCatalogNamesUnique(t *testing.T) {
 			t.Errorf("duplicate check name %q", c.Name)
 		}
 		seen[c.Name] = true
-		if c.Kind != "monotonicity" && c.Kind != "conservation" && c.Kind != "differential" {
+		if c.Kind != "monotonicity" && c.Kind != "conservation" && c.Kind != "differential" && c.Kind != "conformance" {
 			t.Errorf("%s: unknown kind %q", c.Name, c.Kind)
 		}
 		if c.Run == nil {

@@ -1,0 +1,63 @@
+package metamorph
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sparc64v/internal/litmus"
+)
+
+// checkTSOOutcomes runs the litmus-test conformance family: every catalog
+// shape sweeps across seeds and structural skew patterns at its natural
+// machine size, and the two-CPU shapes additionally on a padded 4-CPU
+// machine (extra chips are pure invalidation targets — the protocol must
+// stay conformant with bystanders snooping). Any TSO-forbidden outcome or
+// missing required witness (SB's r0=0,r1=0 store-buffer signature) is a
+// violation. Quick mode sweeps 32 seeds per shape; full mode 64.
+func checkTSOOutcomes(ctx context.Context, env *Env) (string, error) {
+	seeds := 32
+	if env.Full {
+		seeds = 64
+	}
+	cfg := litmus.BaseConfig()
+	type job struct {
+		t    litmus.Test
+		cpus int
+	}
+	var jobs []job
+	for _, t := range litmus.Tests() {
+		jobs = append(jobs, job{t, 0})
+		if t.CPUs == 2 {
+			jobs = append(jobs, job{t, 4})
+		}
+	}
+	var details, bad []string
+	runs := 0
+	for _, j := range jobs {
+		sr, err := litmus.Sweep(ctx, j.t, cfg, litmus.Options{
+			Seeds:    seeds,
+			BaseSeed: env.Seed,
+			CPUs:     j.cpus,
+			Workers:  env.Workers,
+		})
+		if err != nil {
+			return "", err
+		}
+		runs += sr.Seeds
+		details = append(details, fmt.Sprintf("%s/%dcpu:%d outcomes", sr.Test, sr.CPUs, len(sr.Outcomes)))
+		for _, f := range sr.Forbidden {
+			bad = append(bad, fmt.Sprintf("%s/%dcpu forbidden %s", sr.Test, sr.CPUs, f))
+		}
+		for _, w := range sr.WitnessMissing {
+			bad = append(bad, fmt.Sprintf("%s/%dcpu witness %q never observed", sr.Test, sr.CPUs, w))
+		}
+	}
+	if len(bad) > 0 {
+		if len(bad) > 8 {
+			bad = append(bad[:8], fmt.Sprintf("... %d more", len(bad)-8))
+		}
+		return "", violationf("TSO conformance: %s", strings.Join(bad, "; "))
+	}
+	return fmt.Sprintf("%d runs clean: %s", runs, strings.Join(details, ", ")), nil
+}
